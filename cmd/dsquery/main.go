@@ -1,0 +1,62 @@
+// Command dsquery builds a TPC-D database and runs a query against it,
+// printing the result rows — a minimal interactive front end for the
+// database kernel.
+//
+// Usage: dsquery -sf 0.002 -q 6             (TPC-D query by number)
+//
+//	dsquery -sql "select count(*) from lineitem where l_quantity < 10"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/db/executor"
+	"repro/internal/db/sql"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	qn := flag.Int("q", 0, "TPC-D query number (2,3,4,5,6,9,11,12,13,14,15,17)")
+	text := flag.String("sql", "", "ad-hoc SQL text (overrides -q)")
+	hash := flag.Bool("hash", false, "use the hash-indexed database instead of Btree")
+	flag.Parse()
+
+	query := *text
+	if query == "" {
+		q, ok := tpcd.Query(*qn)
+		if !ok {
+			log.Fatalf("no TPC-D query %d; use -q or -sql", *qn)
+		}
+		query = q
+	}
+	cfg := tpcd.DefaultConfig()
+	cfg.SF = *sf
+	if *hash {
+		cfg.Indexes = 1
+	}
+	fmt.Fprintf(os.Stderr, "loading TPC-D (SF=%g, %s indices)...\n", *sf, cfg.Indexes)
+	db, err := tpcd.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, schema, err := sql.Exec(db, executor.NewCtx(nil), query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range schema.Columns {
+		fmt.Printf("%-18s", c.Name)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		for _, v := range r {
+			fmt.Printf("%-18s", v.String())
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows)\n", len(rows))
+}

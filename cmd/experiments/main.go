@@ -1,0 +1,61 @@
+// Command experiments regenerates every table and figure of the paper
+// end to end: it builds the TPC-D databases, runs the training and
+// test workloads on the instrumented kernel, and prints the paper-style
+// tables. See EXPERIMENTS.md for paper-vs-measured commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	validate := flag.Bool("validate", false, "validate traces against the static CFG while recording")
+	only := flag.String("only", "", "run a single experiment: table1|figure2|reuse|table2|table3|table4|seq|ablation")
+	flag.Parse()
+
+	params := experiments.Params{SF: *sf, Seed: *seed, Validate: *validate}
+	fmt.Fprintf(os.Stderr, "building databases and traces (SF=%g)...\n", *sf)
+	s, err := experiments.NewSetup(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "training trace: %d block events (%d instrs); test trace: %d (%d)\n",
+		s.TrainTrace.Len(), s.TrainTrace.Instrs, s.TestTrace.Len(), s.TestTrace.Instrs)
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		fmt.Println(experiments.FormatTable1(s.Table1()))
+	}
+	if want("figure2") {
+		fmt.Println(s.FormatFigure2())
+	}
+	if want("reuse") {
+		fmt.Println(experiments.FormatReuse(s.Reuse()))
+	}
+	if want("table2") {
+		fmt.Println(experiments.FormatTable2(s.Table2()))
+	}
+	if want("seq") {
+		fmt.Println(experiments.FormatSequentiality(s.Sequentiality()))
+	}
+	if want("table3") {
+		fmt.Println(experiments.FormatTable3(s.Table3()))
+	}
+	if want("table4") {
+		ideal, rows := s.Table4()
+		fmt.Println(experiments.FormatTable4(ideal, rows))
+	}
+	if want("ablation") {
+		fmt.Println(experiments.FormatAblation(
+			s.AblationThresholds(experiments.CacheConfig{CacheBytes: 4096, CFABytes: 1024})))
+	}
+}

@@ -1,0 +1,39 @@
+// Command profiler runs the paper's training workload on the
+// instrumented kernel and prints the weighted-CFG profile summary:
+// footprint, hottest blocks and procedures, and type breakdown
+// (Section 4 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	top := flag.Int("top", 20, "number of hottest blocks to list")
+	flag.Parse()
+
+	s, err := experiments.NewSetup(experiments.Params{SF: *sf, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatTable1(s.Table1()))
+	fmt.Println()
+	fmt.Print(experiments.FormatTable2(s.Table2()))
+	fmt.Println()
+	fmt.Printf("hottest %d basic blocks (training set):\n", *top)
+	blocks := s.Profile.ExecutedBlocks()
+	for i, b := range blocks {
+		if i >= *top {
+			break
+		}
+		blk := s.Img.Prog.Block(b)
+		fmt.Printf("%4d. %-28s %10d executions (%d instrs)\n",
+			i+1, blk.Name, s.Profile.Weight(b), blk.Size)
+	}
+}

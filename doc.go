@@ -1,0 +1,11 @@
+// Package repro is a from-scratch reproduction of "Optimization of
+// Instruction Fetch for Decision Support Workloads" (Ramírez,
+// Larriba-Pey, Navarro, Serrano, Valero, Torrellas — ICPP 1999): the
+// Software Trace Cache. It contains a complete instrumented database
+// kernel (storage manager, buffer manager, B-tree/hash access methods,
+// Volcano executor, SQL front end), a TPC-D workload generator, the
+// STC layout algorithm with the Pettis & Hansen and Torrellas et al.
+// baselines, and i-cache/trace-cache/SEQ.3 fetch-unit simulators that
+// regenerate every table and figure of the paper. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

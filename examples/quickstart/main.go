@@ -1,0 +1,83 @@
+// Quickstart: build the paper's Figure 3 weighted control-flow graph,
+// run the Software Trace Cache sequence builder on it, and print the
+// resulting main and secondary traces — the worked example of
+// Section 5.2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/program"
+)
+
+func main() {
+	// The Figure 3 graph: nodes A1..A8, B1, C5 with the paper's weights
+	// (x10 to integers) and branch probabilities.
+	b := program.NewBuilder()
+	f := b.Proc("A", "fig3")
+	f.Fall("A1", 4)
+	f.Cond("A2", 4, "B1")
+	f.Cond("A3", 4, "A5")
+	f.Cond("A4", 4, "A6")
+	f.Cond("A5", 4, "A7")
+	f.Fall("A6", 4)
+	f.Fall("A7", 4)
+	f.Cond("A8", 4, "C5")
+	f.Fall("B1", 8)
+	f.Ret("C5", 8)
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pr := profile.New(prog)
+	weights := map[string]uint64{
+		"A1": 100, "A2": 100, "A3": 100, "A4": 60, "A5": 45,
+		"A6": 24, "A7": 76, "A8": 100, "B1": 10, "C5": 30,
+	}
+	for name, w := range weights {
+		pr.BlockCount[prog.MustBlock("A."+name)] = w
+	}
+	edge := func(from, to string, c uint64) {
+		pr.EdgeCount[profile.Edge{From: prog.MustBlock("A." + from), To: prog.MustBlock("A." + to)}] = c
+	}
+	edge("A1", "A2", 100)
+	edge("A2", "A3", 90)
+	edge("A2", "B1", 10)
+	edge("A3", "A4", 55)
+	edge("A3", "A5", 45)
+	edge("A4", "A7", 36)
+	edge("A4", "A6", 24)
+	edge("A5", "A7", 45)
+	edge("A6", "A7", 24)
+	edge("A7", "A8", 76)
+	edge("A8", "A6", 35)
+	edge("A8", "B1", 35)
+	edge("A8", "C5", 30)
+
+	params := core.Params{ExecThreshold: 40, BranchThreshold: 0.4,
+		CacheBytes: 1024, CFABytes: 256}
+	visited := make([]bool, prog.NumBlocks())
+	seqs := core.BuildSequences(pr, []program.BlockID{prog.MustBlock("A.A1")}, params, visited)
+
+	fmt.Println("Software Trace Cache sequence building (paper Figure 3)")
+	fmt.Printf("ExecThreshold=%d BranchThreshold=%.1f, seed A1\n\n", params.ExecThreshold, params.BranchThreshold)
+	for i, s := range seqs {
+		kind := "main trace"
+		if s.Secondary {
+			kind = "secondary"
+		}
+		fmt.Printf("sequence %d (%s): ", i+1, kind)
+		for j, blk := range s.Blocks {
+			if j > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(prog.Block(blk).Name)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndiscarded: B1, C5 (branch threshold), A6 (exec threshold)")
+}

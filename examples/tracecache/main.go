@@ -1,0 +1,55 @@
+// tracecache reproduces the paper's headline combination result: a
+// hardware trace cache alone vs. the Software Trace Cache layout vs.
+// both together (Section 7.3) — showing that the software layout makes
+// the sequential fetch path a better backup on trace-cache misses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/fetch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.001, "TPC-D scale factor")
+	entries := flag.Int("entries", 64, "trace cache entries (paper: 256)")
+	flag.Parse()
+
+	s, err := experiments.NewSetup(experiments.Params{SF: *sf, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := experiments.CacheConfig{CacheBytes: 4096, CFABytes: 1024}
+	layouts := s.Layouts(cc)
+	orig, ops := layouts["orig"], layouts["ops"]
+
+	configs := []struct {
+		name   string
+		layout string
+		tc     bool
+	}{
+		{"original layout", "orig", false},
+		{"STC (ops) layout", "ops", false},
+		{"trace cache, original layout", "orig", true},
+		{"trace cache + STC (ops)", "ops", true},
+	}
+	fmt.Printf("4KB i-cache; %d-entry trace cache; test trace %d instrs\n\n",
+		*entries, s.TestTrace.Instrs)
+	fmt.Printf("%-32s %8s %10s %10s\n", "configuration", "IPC", "TC hits", "TC miss")
+	for _, c := range configs {
+		l := orig
+		if c.layout == "ops" {
+			l = ops
+		}
+		cfg := fetch.DefaultConfig(cache.NewDirectMapped(cc.CacheBytes, cache.DefaultLineBytes))
+		if c.tc {
+			cfg.TC = cache.NewTraceCache(*entries, 16, 3, 4)
+		}
+		res := fetch.Simulate(s.TestTrace, l, cfg)
+		fmt.Printf("%-32s %8.2f %10d %10d\n", c.name, res.IPC(), res.TCHits, res.TCMisses)
+	}
+}

@@ -1,0 +1,280 @@
+// Package cache implements the instruction-cache models used by the
+// paper's evaluation (Section 7): direct-mapped caches of 8–64 KB,
+// a 2-way set-associative variant, a direct-mapped cache backed by a
+// 16-line fully-associative victim cache, and the 256-entry trace
+// cache of Rotenberg et al. that the Software Trace Cache is combined
+// with in Table 4.
+//
+// All instruction caches are simulated at line granularity: the fetch
+// engine translates fetch requests into line accesses.
+package cache
+
+import "fmt"
+
+// DefaultLineBytes is the cache line size used throughout the paper's
+// setup: 16 instructions of 4 bytes.
+const DefaultLineBytes = 64
+
+// ICache is a line-granularity instruction cache model.
+type ICache interface {
+	// Access touches the line containing byte address addr and returns
+	// true on a hit. State is updated (fills, LRU, victim movement).
+	Access(addr uint64) bool
+	// Reset invalidates all cache state.
+	Reset()
+	// LineBytes returns the line size in bytes.
+	LineBytes() int
+	// Name describes the configuration, e.g. "32KB direct".
+	Name() string
+}
+
+// DirectMapped is a direct-mapped instruction cache.
+type DirectMapped struct {
+	name      string
+	lineBytes uint64
+	sets      uint64
+	tags      []uint64
+	valid     []bool
+}
+
+// NewDirectMapped returns a direct-mapped cache of the given total
+// size. sizeBytes must be a multiple of lineBytes.
+func NewDirectMapped(sizeBytes, lineBytes int) *DirectMapped {
+	if sizeBytes <= 0 || lineBytes <= 0 || sizeBytes%lineBytes != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d/%d", sizeBytes, lineBytes))
+	}
+	sets := uint64(sizeBytes / lineBytes)
+	return &DirectMapped{
+		name:      fmt.Sprintf("%dKB direct", sizeBytes/1024),
+		lineBytes: uint64(lineBytes),
+		sets:      sets,
+		tags:      make([]uint64, sets),
+		valid:     make([]bool, sets),
+	}
+}
+
+// Access implements ICache.
+func (c *DirectMapped) Access(addr uint64) bool {
+	line := addr / c.lineBytes
+	set := line % c.sets
+	if c.valid[set] && c.tags[set] == line {
+		return true
+	}
+	c.valid[set] = true
+	c.tags[set] = line
+	return false
+}
+
+// Probe reports whether the line containing addr is resident, without
+// updating any state.
+func (c *DirectMapped) Probe(addr uint64) bool {
+	line := addr / c.lineBytes
+	set := line % c.sets
+	return c.valid[set] && c.tags[set] == line
+}
+
+// Evict invalidates the line containing addr if resident, returning
+// the evicted line number and true.
+func (c *DirectMapped) evictFor(line uint64) (uint64, bool) {
+	set := line % c.sets
+	if !c.valid[set] {
+		return 0, false
+	}
+	old := c.tags[set]
+	return old, true
+}
+
+// Reset implements ICache.
+func (c *DirectMapped) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// LineBytes implements ICache.
+func (c *DirectMapped) LineBytes() int { return int(c.lineBytes) }
+
+// Name implements ICache.
+func (c *DirectMapped) Name() string { return c.name }
+
+// SetAssoc is a k-way set-associative cache with true LRU replacement.
+type SetAssoc struct {
+	name      string
+	lineBytes uint64
+	sets      uint64
+	ways      int
+	// tags[set*ways+way]; age[set*ways+way] is an LRU stamp.
+	tags  []uint64
+	valid []bool
+	age   []uint64
+	clock uint64
+}
+
+// NewSetAssoc returns a k-way set-associative cache.
+func NewSetAssoc(sizeBytes, lineBytes, ways int) *SetAssoc {
+	if ways <= 0 || sizeBytes <= 0 || lineBytes <= 0 ||
+		sizeBytes%(lineBytes*ways) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d/%d/%d", sizeBytes, lineBytes, ways))
+	}
+	sets := uint64(sizeBytes / lineBytes / ways)
+	n := int(sets) * ways
+	return &SetAssoc{
+		name:      fmt.Sprintf("%dKB %d-way", sizeBytes/1024, ways),
+		lineBytes: uint64(lineBytes),
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		age:       make([]uint64, n),
+	}
+}
+
+// Access implements ICache.
+func (c *SetAssoc) Access(addr uint64) bool {
+	line := addr / c.lineBytes
+	set := line % c.sets
+	base := int(set) * c.ways
+	c.clock++
+	victim, oldest := base, c.age[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.age[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
+		}
+	}
+	c.valid[victim] = true
+	c.tags[victim] = line
+	c.age[victim] = c.clock
+	return false
+}
+
+// Reset implements ICache.
+func (c *SetAssoc) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+	}
+	c.clock = 0
+}
+
+// LineBytes implements ICache.
+func (c *SetAssoc) LineBytes() int { return int(c.lineBytes) }
+
+// Name implements ICache.
+func (c *SetAssoc) Name() string { return c.name }
+
+// Victim is a direct-mapped cache backed by a small fully-associative
+// victim cache (Jouppi). Lines evicted from the main cache move to the
+// victim buffer; a victim-buffer hit swaps the line back into the main
+// cache and counts as a hit.
+type Victim struct {
+	name    string
+	main    *DirectMapped
+	entries int
+	vtags   []uint64
+	vvalid  []bool
+	vage    []uint64
+	clock   uint64
+}
+
+// NewVictim returns a direct-mapped cache of sizeBytes with an
+// entries-line fully-associative victim buffer.
+func NewVictim(sizeBytes, lineBytes, entries int) *Victim {
+	return &Victim{
+		name:    fmt.Sprintf("%dKB direct+%d-line victim", sizeBytes/1024, entries),
+		main:    NewDirectMapped(sizeBytes, lineBytes),
+		entries: entries,
+		vtags:   make([]uint64, entries),
+		vvalid:  make([]bool, entries),
+		vage:    make([]uint64, entries),
+	}
+}
+
+// Access implements ICache.
+func (c *Victim) Access(addr uint64) bool {
+	line := addr / c.main.lineBytes
+	set := line % c.main.sets
+	c.clock++
+	if c.main.valid[set] && c.main.tags[set] == line {
+		return true
+	}
+	// Main miss: probe the victim buffer.
+	for i := 0; i < c.entries; i++ {
+		if c.vvalid[i] && c.vtags[i] == line {
+			// Swap: requested line moves to main, displaced main line
+			// takes its victim slot.
+			if c.main.valid[set] {
+				c.vtags[i] = c.main.tags[set]
+				c.vage[i] = c.clock
+			} else {
+				c.vvalid[i] = false
+			}
+			c.main.tags[set] = line
+			c.main.valid[set] = true
+			return true
+		}
+	}
+	// Full miss: fill main, displaced line goes to the victim buffer.
+	if old, ok := c.main.evictFor(line); ok {
+		c.insertVictim(old)
+	}
+	c.main.tags[set] = line
+	c.main.valid[set] = true
+	return false
+}
+
+func (c *Victim) insertVictim(line uint64) {
+	victim, oldest := 0, c.vage[0]
+	for i := 0; i < c.entries; i++ {
+		if !c.vvalid[i] {
+			victim = i
+			break
+		}
+		if c.vage[i] < oldest {
+			victim, oldest = i, c.vage[i]
+		}
+	}
+	c.vvalid[victim] = true
+	c.vtags[victim] = line
+	c.vage[victim] = c.clock
+}
+
+// Reset implements ICache.
+func (c *Victim) Reset() {
+	c.main.Reset()
+	for i := range c.vvalid {
+		c.vvalid[i] = false
+		c.vage[i] = 0
+	}
+	c.clock = 0
+}
+
+// LineBytes implements ICache.
+func (c *Victim) LineBytes() int { return c.main.LineBytes() }
+
+// Name implements ICache.
+func (c *Victim) Name() string { return c.name }
+
+// Ideal is a cache that always hits (the paper's "Ideal" rows).
+type Ideal struct{ lineBytes int }
+
+// NewIdeal returns an always-hitting cache with the given line size.
+func NewIdeal(lineBytes int) *Ideal { return &Ideal{lineBytes: lineBytes} }
+
+// Access implements ICache.
+func (c *Ideal) Access(uint64) bool { return true }
+
+// Reset implements ICache.
+func (c *Ideal) Reset() {}
+
+// LineBytes implements ICache.
+func (c *Ideal) LineBytes() int { return c.lineBytes }
+
+// Name implements ICache.
+func (c *Ideal) Name() string { return "ideal" }

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectMappedBasic(t *testing.T) {
+	c := NewDirectMapped(1024, 64) // 16 sets
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(63) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line cold access must miss")
+	}
+	// 1024 bytes, 16 sets: address 0 and 1024 conflict.
+	if c.Access(1024) {
+		t.Fatal("conflicting line must miss")
+	}
+	if c.Access(0) {
+		t.Fatal("evicted line must miss")
+	}
+	c.Reset()
+	if c.Access(64) {
+		t.Fatal("access after reset must miss")
+	}
+}
+
+func TestDirectMappedProbeDoesNotFill(t *testing.T) {
+	c := NewDirectMapped(1024, 64)
+	if c.Probe(0) {
+		t.Fatal("probe of cold cache must be false")
+	}
+	if c.Probe(0) || c.Access(0) {
+		t.Fatal("probe must not fill")
+	}
+	if !c.Probe(0) {
+		t.Fatal("probe after fill must be true")
+	}
+}
+
+func TestDirectMappedBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDirectMapped(1000, 64)
+}
+
+func TestSetAssocLRU(t *testing.T) {
+	c := NewSetAssoc(2048, 64, 2) // 16 sets, 2 ways
+	// Three lines mapping to set 0: 0, 1024, 2048.
+	c.Access(0)
+	c.Access(1024)
+	if !c.Access(0) || !c.Access(1024) {
+		t.Fatal("both ways must be resident")
+	}
+	c.Access(0)    // 0 is now MRU, 1024 LRU
+	c.Access(2048) // evicts 1024
+	if !c.Access(0) {
+		t.Fatal("MRU line evicted instead of LRU")
+	}
+	if c.Access(1024) {
+		t.Fatal("LRU line should have been evicted")
+	}
+}
+
+func TestSetAssocNames(t *testing.T) {
+	if got := NewSetAssoc(16384, 64, 2).Name(); got != "16KB 2-way" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := NewDirectMapped(32768, 64).Name(); got != "32KB direct" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := NewVictim(8192, 64, 16).Name(); got != "8KB direct+16-line victim" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+// Property: a 1-way set-associative cache behaves exactly like a
+// direct-mapped cache of the same geometry.
+func TestOneWayEqualsDirectMapped(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		dm := NewDirectMapped(1024, 64)
+		sa := NewSetAssoc(1024, 64, 1)
+		for _, a := range addrs {
+			if dm.Access(uint64(a)) != sa.Access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a k-way cache never has more misses than a direct-mapped
+// cache of the same size on any address sequence confined to one set's
+// conflict group... not true in general (LRU vs direct pathologies),
+// so instead check the inclusion-style sanity property: repeating the
+// same address twice in a row always hits the second time.
+func TestImmediateRehitProperty(t *testing.T) {
+	caches := []ICache{
+		NewDirectMapped(1024, 64),
+		NewSetAssoc(2048, 64, 2),
+		NewVictim(1024, 64, 4),
+	}
+	f := func(addrs []uint32) bool {
+		for _, c := range caches {
+			c.Reset()
+			for _, a := range addrs {
+				c.Access(uint64(a))
+				if !c.Access(uint64(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimCatchesConflicts(t *testing.T) {
+	c := NewVictim(1024, 64, 4)
+	// 0 and 1024 conflict in the main cache.
+	c.Access(0)
+	c.Access(1024) // miss; 0 moves to victim buffer
+	if !c.Access(0) {
+		t.Fatal("victim buffer should hold line 0")
+	}
+	// The swap puts 1024 in the victim buffer now.
+	if !c.Access(1024) {
+		t.Fatal("victim buffer should hold line 1024 after swap")
+	}
+}
+
+func TestVictimLRUReplacement(t *testing.T) {
+	c := NewVictim(64, 64, 2) // main: 1 set; victim: 2 lines
+	c.Access(0)               // main: 0
+	c.Access(64)              // main: 64, victim: [0]
+	c.Access(128)             // main: 128, victim: [0, 64]
+	c.Access(192)             // main: 192, victim: [64, 128] (0 was LRU)
+	if c.Access(0) {
+		t.Fatal("line 0 should have aged out of the 2-entry victim buffer")
+	}
+	if !c.Access(128) {
+		t.Fatal("line 128 should still be in the victim buffer")
+	}
+}
+
+func TestIdealAlwaysHits(t *testing.T) {
+	c := NewIdeal(64)
+	for a := uint64(0); a < 1<<16; a += 4096 {
+		if !c.Access(a) {
+			t.Fatal("ideal cache missed")
+		}
+	}
+	if c.LineBytes() != 64 || c.Name() != "ideal" {
+		t.Fatal("ideal metadata wrong")
+	}
+}
+
+func TestTraceCacheFillLookup(t *testing.T) {
+	tc := NewTraceCache(256, 16, 3, 4)
+	seq := []uint64{100, 104, 108, 200, 204}
+	tc.Fill(100, seq)
+	peekFrom := func(s []uint64) func(int) (uint64, bool) {
+		return func(i int) (uint64, bool) {
+			if i < len(s) {
+				return s[i], true
+			}
+			return 0, false
+		}
+	}
+	n, hit := tc.Lookup(100, peekFrom(seq))
+	if !hit || n != 5 {
+		t.Fatalf("lookup = (%d,%v), want (5,true)", n, hit)
+	}
+	// Divergent path after the 3rd instruction: miss.
+	div := []uint64{100, 104, 108, 300, 304}
+	if _, hit := tc.Lookup(100, peekFrom(div)); hit {
+		t.Fatal("divergent path must miss")
+	}
+	// Too-short upcoming stream: miss.
+	if _, hit := tc.Lookup(100, peekFrom(seq[:3])); hit {
+		t.Fatal("short stream must miss")
+	}
+	// Wrong fetch address: miss.
+	if _, hit := tc.Lookup(104, peekFrom(seq)); hit {
+		t.Fatal("wrong tag must miss")
+	}
+	hits, misses, fills := tc.Stats()
+	if hits != 1 || misses != 3 || fills != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/3/1", hits, misses, fills)
+	}
+}
+
+func TestTraceCacheConflict(t *testing.T) {
+	tc := NewTraceCache(256, 16, 3, 4)
+	// Addresses 4*i and 4*(i+256) index the same entry.
+	a, b := uint64(0), uint64(256*4)
+	tc.Fill(a, []uint64{a})
+	tc.Fill(b, []uint64{b})
+	peek := func(want uint64) func(int) (uint64, bool) {
+		return func(i int) (uint64, bool) { return want, i == 0 }
+	}
+	if _, hit := tc.Lookup(a, peek(a)); hit {
+		t.Fatal("conflicting fill should have evicted entry a")
+	}
+	if _, hit := tc.Lookup(b, peek(b)); !hit {
+		t.Fatal("entry b should be resident")
+	}
+}
+
+func TestTraceCacheResetAndEmptyFill(t *testing.T) {
+	tc := NewTraceCache(16, 16, 3, 4)
+	tc.Fill(0, nil) // ignored
+	if _, _, fills := tc.Stats(); fills != 0 {
+		t.Fatal("empty fill must be ignored")
+	}
+	tc.Fill(0, []uint64{0})
+	tc.Reset()
+	if _, hit := tc.Lookup(0, func(int) (uint64, bool) { return 0, true }); hit {
+		t.Fatal("lookup after reset must miss")
+	}
+	if tc.Name() != "16KB trace cache" {
+		// 256*16*4 = 16KB only for the 256-entry config; here 16 entries = 1KB.
+		tcBig := NewTraceCache(256, 16, 3, 4)
+		if tcBig.Name() != "16KB trace cache" {
+			t.Fatalf("name = %q", tcBig.Name())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cache
+
+import "fmt"
+
+// TraceCache models the basic trace cache of Rotenberg, Bennett and
+// Smith used in Section 7.3: a direct-mapped buffer of dynamic
+// instruction sequences, each up to MaxInstrs instructions and
+// MaxBranches branches long, indexed by fetch address.
+//
+// The simulator stores each trace as the exact sequence of instruction
+// addresses it contains. With the paper's perfect branch prediction, a
+// lookup hits when the stored sequence matches the actual upcoming
+// dynamic instruction stream, i.e. the stored branch outcomes agree
+// with the (perfectly predicted) future path.
+type TraceCache struct {
+	entries    int
+	maxInstrs  int
+	maxBranch  int
+	lines      []tcLine
+	sizeBytes  int
+	hitCount   uint64
+	missCount  uint64
+	fillCount  uint64
+	instrBytes uint64
+}
+
+type tcLine struct {
+	valid bool
+	tag   uint64 // fetch address
+	addrs []uint64
+}
+
+// NewTraceCache returns a direct-mapped trace cache with the given
+// number of entries, each holding up to maxInstrs instructions and
+// maxBranches branches. The paper's configuration is 256 entries of 16
+// instructions (16 KB).
+func NewTraceCache(entries, maxInstrs, maxBranches, instrBytes int) *TraceCache {
+	tc := &TraceCache{
+		entries:    entries,
+		maxInstrs:  maxInstrs,
+		maxBranch:  maxBranches,
+		lines:      make([]tcLine, entries),
+		sizeBytes:  entries * maxInstrs * instrBytes,
+		instrBytes: uint64(instrBytes),
+	}
+	return tc
+}
+
+// Name describes the configuration.
+func (tc *TraceCache) Name() string { return fmt.Sprintf("%dKB trace cache", tc.sizeBytes/1024) }
+
+// Entries returns the number of trace lines.
+func (tc *TraceCache) Entries() int { return tc.entries }
+
+// MaxInstrs returns the per-line instruction capacity.
+func (tc *TraceCache) MaxInstrs() int { return tc.maxInstrs }
+
+// MaxBranches returns the per-line branch limit.
+func (tc *TraceCache) MaxBranches() int { return tc.maxBranch }
+
+func (tc *TraceCache) index(addr uint64) int {
+	return int((addr / tc.instrBytes) % uint64(tc.entries))
+}
+
+// Lookup checks for a trace starting at fetch address addr whose
+// stored instruction addresses match the upcoming stream. upcoming
+// must supply at least the next len instructions' addresses via the
+// peek callback: peek(i) returns the address of the i-th upcoming
+// instruction (i=0 is the instruction at addr) and whether it exists.
+// On a hit it returns the number of instructions delivered.
+func (tc *TraceCache) Lookup(addr uint64, peek func(int) (uint64, bool)) (int, bool) {
+	l := &tc.lines[tc.index(addr)]
+	if !l.valid || l.tag != addr {
+		tc.missCount++
+		return 0, false
+	}
+	for i, want := range l.addrs {
+		got, ok := peek(i)
+		if !ok || got != want {
+			// Stored branch outcomes diverge from the actual path.
+			tc.missCount++
+			return 0, false
+		}
+	}
+	tc.hitCount++
+	return len(l.addrs), true
+}
+
+// Fill inserts a trace starting at addr with the given instruction
+// addresses (already truncated to the line limits by the fill unit).
+func (tc *TraceCache) Fill(addr uint64, addrs []uint64) {
+	if len(addrs) == 0 {
+		return
+	}
+	l := &tc.lines[tc.index(addr)]
+	l.valid = true
+	l.tag = addr
+	l.addrs = append(l.addrs[:0], addrs...)
+	tc.fillCount++
+}
+
+// Stats returns hit, miss and fill counts.
+func (tc *TraceCache) Stats() (hits, misses, fills uint64) {
+	return tc.hitCount, tc.missCount, tc.fillCount
+}
+
+// Reset invalidates all lines and clears statistics.
+func (tc *TraceCache) Reset() {
+	for i := range tc.lines {
+		tc.lines[i].valid = false
+		tc.lines[i].addrs = tc.lines[i].addrs[:0]
+	}
+	tc.hitCount, tc.missCount, tc.fillCount = 0, 0, 0
+}

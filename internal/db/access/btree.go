@@ -1,0 +1,452 @@
+package access
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/db/buffer"
+	"repro/internal/db/probe"
+	"repro/internal/db/storage"
+)
+
+// B-tree with int64 keys (TPC-D primary and foreign keys are integers;
+// dates are day numbers). Duplicates are allowed (multi-entry foreign
+// key indices) and ordered by (key, TID).
+//
+// File layout:
+//
+//	page 0: meta — root(4) | height(4)
+//	nodes:  kind(1) | nkeys(2) | right(4) | [leftmost child(4)] | entries
+//	        leaf entry:     key(8) | tidPage(4) | tidSlot(2)  = 14 bytes
+//	        internal entry: key(8) | child(4)                 = 12 bytes
+const (
+	btMetaRoot   = 0
+	btMetaHeight = 4
+
+	btKindOff  = 0
+	btNKeysOff = 1
+	btRightOff = 3
+	btHdr      = 7
+
+	btLeafEntry = 14
+	btIntEntry  = 12
+
+	btLeaf     = 1
+	btInternal = 2
+
+	btNoRight = 0xFFFFFFFF
+)
+
+// btLeafCap and btIntCap leave slack so splits always fit.
+var (
+	btLeafCap = (storage.PageBytes - btHdr) / btLeafEntry
+	btIntCap  = (storage.PageBytes - btHdr - 4) / btIntEntry
+)
+
+// BTree is a page-based B-tree index.
+type BTree struct {
+	buf  *buffer.Manager
+	file int
+}
+
+// CreateBTree initializes an empty B-tree in the given (empty) file.
+func CreateBTree(buf *buffer.Manager, file int) (*BTree, error) {
+	if buf.NumPages(file) != 0 {
+		return nil, fmt.Errorf("access: btree file %d not empty", file)
+	}
+	meta, err := buf.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	root, err := buf.NewPage(file)
+	if err != nil {
+		buf.Release(meta, false)
+		return nil, err
+	}
+	initNode(root.Page, btLeaf)
+	binary.LittleEndian.PutUint32(meta.Page[btMetaRoot:], uint32(root.PageNo))
+	binary.LittleEndian.PutUint32(meta.Page[btMetaHeight:], 1)
+	buf.Release(root, true)
+	buf.Release(meta, true)
+	return &BTree{buf: buf, file: file}, nil
+}
+
+// OpenBTree opens an existing B-tree file.
+func OpenBTree(buf *buffer.Manager, file int) *BTree {
+	return &BTree{buf: buf, file: file}
+}
+
+// File returns the index's storage file ID.
+func (t *BTree) File() int { return t.file }
+
+func initNode(p storage.Page, kind byte) {
+	for i := range p[:btHdr] {
+		p[i] = 0
+	}
+	p[btKindOff] = kind
+	binary.LittleEndian.PutUint32(p[btRightOff:], btNoRight)
+}
+
+func nodeKind(p storage.Page) byte { return p[btKindOff] }
+func nodeN(p storage.Page) int     { return int(binary.LittleEndian.Uint16(p[btNKeysOff:])) }
+func setNodeN(p storage.Page, n int) {
+	binary.LittleEndian.PutUint16(p[btNKeysOff:], uint16(n))
+}
+func nodeRight(p storage.Page) uint32 { return binary.LittleEndian.Uint32(p[btRightOff:]) }
+func setNodeRight(p storage.Page, r uint32) {
+	binary.LittleEndian.PutUint32(p[btRightOff:], r)
+}
+
+// Leaf entry accessors.
+func leafOff(i int) int { return btHdr + i*btLeafEntry }
+func leafKey(p storage.Page, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[leafOff(i):]))
+}
+func leafTID(p storage.Page, i int) storage.TID {
+	o := leafOff(i)
+	return storage.TID{
+		Page: binary.LittleEndian.Uint32(p[o+8:]),
+		Slot: binary.LittleEndian.Uint16(p[o+12:]),
+	}
+}
+func putLeaf(p storage.Page, i int, k int64, tid storage.TID) {
+	o := leafOff(i)
+	binary.LittleEndian.PutUint64(p[o:], uint64(k))
+	binary.LittleEndian.PutUint32(p[o+8:], tid.Page)
+	binary.LittleEndian.PutUint16(p[o+12:], tid.Slot)
+}
+
+// Internal entry accessors. Children: child(-1) is the leftmost
+// pointer stored right after the header; entry i holds (key_i,
+// child_i) where child_i serves keys >= key_i.
+func intOff(i int) int { return btHdr + 4 + i*btIntEntry }
+func intKey(p storage.Page, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[intOff(i):]))
+}
+func intChild(p storage.Page, i int) uint32 {
+	if i < 0 {
+		return binary.LittleEndian.Uint32(p[btHdr:])
+	}
+	return binary.LittleEndian.Uint32(p[intOff(i)+8:])
+}
+func putIntChild(p storage.Page, i int, c uint32) {
+	if i < 0 {
+		binary.LittleEndian.PutUint32(p[btHdr:], c)
+		return
+	}
+	binary.LittleEndian.PutUint32(p[intOff(i)+8:], c)
+}
+func putIntEntry(p storage.Page, i int, k int64, c uint32) {
+	o := intOff(i)
+	binary.LittleEndian.PutUint64(p[o:], uint64(k))
+	binary.LittleEndian.PutUint32(p[o+8:], c)
+}
+
+func (t *BTree) meta(tr probe.Tracer) (root uint32, height int, err error) {
+	b, err := t.buf.Get(tr, t.file, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	root = binary.LittleEndian.Uint32(b.Page[btMetaRoot:])
+	height = int(binary.LittleEndian.Uint32(b.Page[btMetaHeight:]))
+	t.buf.Release(b, false)
+	return root, height, nil
+}
+
+func (t *BTree) setMeta(root uint32, height int) error {
+	b, err := t.buf.Get(nil, t.file, 0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b.Page[btMetaRoot:], root)
+	binary.LittleEndian.PutUint32(b.Page[btMetaHeight:], uint32(height))
+	t.buf.Release(b, true)
+	return nil
+}
+
+// leafLowerBound returns the first slot whose (key,TID) >= (k,tid).
+func leafLowerBound(p storage.Page, k int64, tid storage.TID) int {
+	lo, hi := 0, nodeN(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk := leafKey(p, mid)
+		if mk < k || (mk == k && leafTID(p, mid).Less(tid)) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intChildFor returns the child index for inserting key k: the last
+// entry with key <= k, or -1 for the leftmost child.
+func intChildFor(p storage.Page, k int64) int {
+	lo, hi := 0, nodeN(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// intChildForSeek returns the child index for locating the *first*
+// entry with key >= k. Because duplicates of a separator key may
+// remain in the child left of it, the descent must take the child
+// before the first separator >= k; the leaf-chain walk skips any
+// too-small entries.
+func intChildForSeek(p storage.Page, k int64) int {
+	lo, hi := 0, nodeN(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+type splitResult struct {
+	split    bool
+	sepKey   int64
+	newChild uint32
+}
+
+// Insert adds (key, tid) to the tree. Loads run untraced.
+func (t *BTree) Insert(key int64, tid storage.TID) error {
+	root, height, err := t.meta(nil)
+	if err != nil {
+		return err
+	}
+	res, err := t.insertInto(root, height, key, tid)
+	if err != nil {
+		return err
+	}
+	if !res.split {
+		return nil
+	}
+	// Root split: new root with two children.
+	nb, err := t.buf.NewPage(t.file)
+	if err != nil {
+		return err
+	}
+	initNode(nb.Page, btInternal)
+	putIntChild(nb.Page, -1, root)
+	putIntEntry(nb.Page, 0, res.sepKey, res.newChild)
+	setNodeN(nb.Page, 1)
+	newRoot := uint32(nb.PageNo)
+	t.buf.Release(nb, true)
+	return t.setMeta(newRoot, height+1)
+}
+
+func (t *BTree) insertInto(page uint32, level int, key int64, tid storage.TID) (splitResult, error) {
+	b, err := t.buf.Get(nil, t.file, int(page))
+	if err != nil {
+		return splitResult{}, err
+	}
+	if nodeKind(b.Page) == btLeaf {
+		res, err := t.insertLeaf(b, key, tid)
+		return res, err
+	}
+	ci := intChildFor(b.Page, key)
+	child := intChild(b.Page, ci)
+	t.buf.Release(b, false)
+	res, err := t.insertInto(child, level-1, key, tid)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+	// Child split: insert separator into this node (re-pin).
+	b, err = t.buf.Get(nil, t.file, int(page))
+	if err != nil {
+		return splitResult{}, err
+	}
+	return t.insertInternal(b, res.sepKey, res.newChild)
+}
+
+// insertLeaf inserts into a pinned leaf, splitting if full. Releases b.
+func (t *BTree) insertLeaf(b buffer.Buf, key int64, tid storage.TID) (splitResult, error) {
+	n := nodeN(b.Page)
+	pos := leafLowerBound(b.Page, key, tid)
+	if n < btLeafCap {
+		copy(b.Page[leafOff(pos+1):leafOff(n+1)], b.Page[leafOff(pos):leafOff(n)])
+		putLeaf(b.Page, pos, key, tid)
+		setNodeN(b.Page, n+1)
+		t.buf.Release(b, true)
+		return splitResult{}, nil
+	}
+	// Split: right half moves to a new leaf.
+	nb, err := t.buf.NewPage(t.file)
+	if err != nil {
+		t.buf.Release(b, false)
+		return splitResult{}, err
+	}
+	initNode(nb.Page, btLeaf)
+	mid := n / 2
+	moved := n - mid
+	copy(nb.Page[leafOff(0):leafOff(moved)], b.Page[leafOff(mid):leafOff(n)])
+	setNodeN(nb.Page, moved)
+	setNodeN(b.Page, mid)
+	setNodeRight(nb.Page, nodeRight(b.Page))
+	setNodeRight(b.Page, uint32(nb.PageNo))
+	// Insert into the proper half.
+	if pos <= mid {
+		nn := nodeN(b.Page)
+		copy(b.Page[leafOff(pos+1):leafOff(nn+1)], b.Page[leafOff(pos):leafOff(nn)])
+		putLeaf(b.Page, pos, key, tid)
+		setNodeN(b.Page, nn+1)
+	} else {
+		p2 := pos - mid
+		nn := nodeN(nb.Page)
+		copy(nb.Page[leafOff(p2+1):leafOff(nn+1)], nb.Page[leafOff(p2):leafOff(nn)])
+		putLeaf(nb.Page, p2, key, tid)
+		setNodeN(nb.Page, nn+1)
+	}
+	sep := leafKey(nb.Page, 0)
+	newChild := uint32(nb.PageNo)
+	t.buf.Release(nb, true)
+	t.buf.Release(b, true)
+	return splitResult{split: true, sepKey: sep, newChild: newChild}, nil
+}
+
+// insertInternal inserts (sepKey -> newChild) into a pinned internal
+// node, splitting if full. Releases b.
+func (t *BTree) insertInternal(b buffer.Buf, sepKey int64, newChild uint32) (splitResult, error) {
+	n := nodeN(b.Page)
+	// Position: first entry with key > sepKey.
+	pos := intChildFor(b.Page, sepKey) + 1
+	if n < btIntCap {
+		copy(b.Page[intOff(pos+1):intOff(n+1)], b.Page[intOff(pos):intOff(n)])
+		putIntEntry(b.Page, pos, sepKey, newChild)
+		setNodeN(b.Page, n+1)
+		t.buf.Release(b, true)
+		return splitResult{}, nil
+	}
+	// Split internal node: middle key moves up.
+	nb, err := t.buf.NewPage(t.file)
+	if err != nil {
+		t.buf.Release(b, false)
+		return splitResult{}, err
+	}
+	initNode(nb.Page, btInternal)
+	mid := n / 2
+	upKey := intKey(b.Page, mid)
+	// Right node: entries mid+1..n-1; leftmost child = child(mid).
+	putIntChild(nb.Page, -1, intChild(b.Page, mid))
+	moved := n - mid - 1
+	copy(nb.Page[intOff(0):intOff(moved)], b.Page[intOff(mid+1):intOff(n)])
+	setNodeN(nb.Page, moved)
+	setNodeN(b.Page, mid)
+	if sepKey < upKey {
+		nn := nodeN(b.Page)
+		p := intChildFor(b.Page, sepKey) + 1
+		copy(b.Page[intOff(p+1):intOff(nn+1)], b.Page[intOff(p):intOff(nn)])
+		putIntEntry(b.Page, p, sepKey, newChild)
+		setNodeN(b.Page, nn+1)
+	} else {
+		nn := nodeN(nb.Page)
+		p := intChildFor(nb.Page, sepKey) + 1
+		copy(nb.Page[intOff(p+1):intOff(nn+1)], nb.Page[intOff(p):intOff(nn)])
+		putIntEntry(nb.Page, p, sepKey, newChild)
+		setNodeN(nb.Page, nn+1)
+	}
+	res := splitResult{split: true, sepKey: upKey, newChild: uint32(nb.PageNo)}
+	t.buf.Release(nb, true)
+	t.buf.Release(b, true)
+	return res, nil
+}
+
+// BTreeScan iterates leaf entries in key order from a start position.
+type BTreeScan struct {
+	tree *BTree
+	page uint32
+	slot int
+	done bool
+}
+
+// SeekGE positions a scan at the first entry with key >= k
+// (bt_search).
+func (t *BTree) SeekGE(tr probe.Tracer, k int64) (*BTreeScan, error) {
+	return t.descend(tr, k, false)
+}
+
+// SeekFirst positions a scan at the smallest key.
+func (t *BTree) SeekFirst(tr probe.Tracer) (*BTreeScan, error) {
+	return t.descend(tr, 0, true)
+}
+
+func (t *BTree) descend(tr probe.Tracer, k int64, leftmost bool) (*BTreeScan, error) {
+	tr = probe.Or(tr)
+	tr.Emit(probe.BtSearchEnter)
+	root, _, err := t.meta(tr)
+	if err != nil {
+		return nil, err
+	}
+	tr.Emit(probe.BtSearchMeta)
+	page := root
+	for {
+		tr.Emit(probe.BtSearchLevel)
+		b, err := t.buf.Get(tr, t.file, int(page))
+		if err != nil {
+			return nil, err
+		}
+		if nodeKind(b.Page) == btLeaf {
+			slot := 0
+			if !leftmost {
+				slot = leafLowerBound(b.Page, k, storage.TID{})
+			}
+			t.buf.Release(b, false)
+			tr.Emit(probe.BtSearchDone)
+			return &BTreeScan{tree: t, page: page, slot: slot}, nil
+		}
+		var next uint32
+		if leftmost {
+			next = intChild(b.Page, -1)
+		} else {
+			next = intChild(b.Page, intChildForSeek(b.Page, k))
+		}
+		t.buf.Release(b, false)
+		tr.Emit(probe.BtSearchCont)
+		page = next
+	}
+}
+
+// Next returns the next (key, TID) in order; ok=false at the end
+// (bt_next).
+func (s *BTreeScan) Next(tr probe.Tracer) (key int64, tid storage.TID, ok bool, err error) {
+	tr = probe.Or(tr)
+	if s.done {
+		tr.Emit(probe.BtNextDone)
+		return 0, storage.TID{}, false, nil
+	}
+	for {
+		tr.Emit(probe.BtNextEnter)
+		b, err := s.tree.buf.Get(tr, s.tree.file, int(s.page))
+		if err != nil {
+			return 0, storage.TID{}, false, err
+		}
+		if s.slot < nodeN(b.Page) {
+			key = leafKey(b.Page, s.slot)
+			tid = leafTID(b.Page, s.slot)
+			s.slot++
+			s.tree.buf.Release(b, false)
+			tr.Emit(probe.BtNextEmit)
+			return key, tid, true, nil
+		}
+		right := nodeRight(b.Page)
+		s.tree.buf.Release(b, false)
+		if right == btNoRight {
+			s.done = true
+			tr.Emit(probe.BtNextEOF)
+			return 0, storage.TID{}, false, nil
+		}
+		tr.Emit(probe.BtNextStep)
+		s.page = right
+		s.slot = 0
+	}
+}

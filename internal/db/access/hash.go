@@ -1,0 +1,212 @@
+package access
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/db/buffer"
+	"repro/internal/db/probe"
+	"repro/internal/db/storage"
+	"repro/internal/db/value"
+)
+
+// HashIndex is a static hash index with int64 keys: a fixed bucket
+// array with overflow chains, modelled on PostgreSQL's hash access
+// method (without dynamic expansion, which TPC-D bulk loads do not
+// need — the bucket count is sized at creation).
+//
+// File layout:
+//
+//	page 0:        meta — nbuckets(4)
+//	pages 1..B:    bucket pages
+//	pages B+1...:  overflow pages
+//	bucket/overflow page: nkeys(2) | next(4) | entries of key(8) tid(6)
+const (
+	hMetaBuckets = 0
+
+	hNOff    = 0
+	hNextOff = 2
+	hHdr     = 6
+	hEntry   = 14
+
+	hNoNext = 0xFFFFFFFF
+)
+
+var hPageCap = (storage.PageBytes - hHdr) / hEntry
+
+// HashIndex is the handle.
+type HashIndex struct {
+	buf      *buffer.Manager
+	file     int
+	nbuckets uint32
+}
+
+// CreateHashIndex initializes a hash index with the given bucket count
+// in an empty file.
+func CreateHashIndex(buf *buffer.Manager, file int, buckets int) (*HashIndex, error) {
+	if buf.NumPages(file) != 0 {
+		return nil, fmt.Errorf("access: hash file %d not empty", file)
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("access: bucket count must be positive")
+	}
+	meta, err := buf.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(meta.Page[hMetaBuckets:], uint32(buckets))
+	buf.Release(meta, true)
+	for i := 0; i < buckets; i++ {
+		b, err := buf.NewPage(file)
+		if err != nil {
+			return nil, err
+		}
+		initHashPage(b.Page)
+		buf.Release(b, true)
+	}
+	return &HashIndex{buf: buf, file: file, nbuckets: uint32(buckets)}, nil
+}
+
+// OpenHashIndex opens an existing hash index.
+func OpenHashIndex(buf *buffer.Manager, file int) (*HashIndex, error) {
+	meta, err := buf.Get(nil, file, 0)
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(meta.Page[hMetaBuckets:])
+	buf.Release(meta, false)
+	return &HashIndex{buf: buf, file: file, nbuckets: n}, nil
+}
+
+// File returns the index's storage file ID.
+func (h *HashIndex) File() int { return h.file }
+
+func initHashPage(p storage.Page) {
+	binary.LittleEndian.PutUint16(p[hNOff:], 0)
+	binary.LittleEndian.PutUint32(p[hNextOff:], hNoNext)
+}
+
+func hashN(p storage.Page) int       { return int(binary.LittleEndian.Uint16(p[hNOff:])) }
+func setHashN(p storage.Page, n int) { binary.LittleEndian.PutUint16(p[hNOff:], uint16(n)) }
+func hashNext(p storage.Page) uint32 { return binary.LittleEndian.Uint32(p[hNextOff:]) }
+func setHashNext(p storage.Page, n uint32) {
+	binary.LittleEndian.PutUint32(p[hNextOff:], n)
+}
+func hashKey(p storage.Page, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[hHdr+i*hEntry:]))
+}
+func hashTID(p storage.Page, i int) storage.TID {
+	o := hHdr + i*hEntry
+	return storage.TID{
+		Page: binary.LittleEndian.Uint32(p[o+8:]),
+		Slot: binary.LittleEndian.Uint16(p[o+12:]),
+	}
+}
+func putHashEntry(p storage.Page, i int, k int64, tid storage.TID) {
+	o := hHdr + i*hEntry
+	binary.LittleEndian.PutUint64(p[o:], uint64(k))
+	binary.LittleEndian.PutUint32(p[o+8:], tid.Page)
+	binary.LittleEndian.PutUint16(p[o+12:], tid.Slot)
+}
+
+// bucketPage returns the page number of a key's bucket.
+func (h *HashIndex) bucketPage(k int64) int {
+	return 1 + int(value.Hash(value.NewInt(k))%uint64(h.nbuckets))
+}
+
+// Insert adds (key, tid), appending to the bucket's overflow chain as
+// needed.
+func (h *HashIndex) Insert(key int64, tid storage.TID) error {
+	page := h.bucketPage(key)
+	for {
+		b, err := h.buf.Get(nil, h.file, page)
+		if err != nil {
+			return err
+		}
+		n := hashN(b.Page)
+		if n < hPageCap {
+			putHashEntry(b.Page, n, key, tid)
+			setHashN(b.Page, n+1)
+			h.buf.Release(b, true)
+			return nil
+		}
+		next := hashNext(b.Page)
+		if next != hNoNext {
+			h.buf.Release(b, false)
+			page = int(next)
+			continue
+		}
+		// Allocate an overflow page and link it.
+		ob, err := h.buf.NewPage(h.file)
+		if err != nil {
+			h.buf.Release(b, false)
+			return err
+		}
+		initHashPage(ob.Page)
+		putHashEntry(ob.Page, 0, key, tid)
+		setHashN(ob.Page, 1)
+		setHashNext(b.Page, uint32(ob.PageNo))
+		h.buf.Release(ob, true)
+		h.buf.Release(b, true)
+		return nil
+	}
+}
+
+// HashScan iterates the TIDs matching one key.
+type HashScan struct {
+	idx  *HashIndex
+	key  int64
+	page uint32
+	slot int
+	done bool
+}
+
+// Lookup starts an equality scan for key (hash_search).
+func (h *HashIndex) Lookup(tr probe.Tracer, key int64) *HashScan {
+	tr = probe.Or(tr)
+	tr.Emit(probe.HashSearchEnter)
+	tr.Emit(probe.HashFunc)
+	page := uint32(h.bucketPage(key))
+	tr.Emit(probe.HashSearchCont)
+	return &HashScan{idx: h, key: key, page: page}
+}
+
+// Next returns the next matching TID; ok=false when the chain is
+// exhausted.
+func (s *HashScan) Next(tr probe.Tracer) (tid storage.TID, ok bool, err error) {
+	tr = probe.Or(tr)
+	if s.done {
+		tr.Emit(probe.HashNextDone)
+		return storage.TID{}, false, nil
+	}
+	for {
+		tr.Emit(probe.HashNextEnter)
+		b, err := s.idx.buf.Get(tr, s.idx.file, int(s.page))
+		if err != nil {
+			return storage.TID{}, false, err
+		}
+		tr.Emit(probe.HashNextCont)
+		n := hashN(b.Page)
+		for s.slot < n {
+			i := s.slot
+			s.slot++
+			if hashKey(b.Page, i) == s.key {
+				tid := hashTID(b.Page, i)
+				s.idx.buf.Release(b, false)
+				tr.Emit(probe.HashNextEmit)
+				return tid, true, nil
+			}
+			tr.Emit(probe.HashNextCmp)
+		}
+		next := hashNext(b.Page)
+		s.idx.buf.Release(b, false)
+		if next == hNoNext {
+			s.done = true
+			tr.Emit(probe.HashNextEOF)
+			return storage.TID{}, false, nil
+		}
+		tr.Emit(probe.HashNextChain)
+		s.page = next
+		s.slot = 0
+	}
+}

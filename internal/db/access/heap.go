@@ -1,0 +1,167 @@
+// Package access implements the access methods of the database kernel
+// (the paper's Figure 1): heap files with sequential scans, a
+// page-based B-tree index for ordered and range access, and a static
+// hash index for equality access — matching the paper's Btree-indexed
+// and Hash-indexed TPC-D databases. All page access goes through the
+// buffer manager.
+//
+// Read paths take a probe.Tracer and emit the instrumentation events
+// the kernel image maps to basic-block paths; loads (inserts) run
+// untraced, as the paper traces query execution only.
+package access
+
+import (
+	"fmt"
+
+	"repro/internal/db/buffer"
+	"repro/internal/db/probe"
+	"repro/internal/db/storage"
+	"repro/internal/db/value"
+)
+
+// TID re-exports the storage tuple identifier for executor
+// convenience.
+type TID = storage.TID
+
+// Heap is a heap file of tuples.
+type Heap struct {
+	buf  *buffer.Manager
+	file int
+}
+
+// NewHeap returns a heap over the given storage file.
+func NewHeap(buf *buffer.Manager, file int) *Heap {
+	return &Heap{buf: buf, file: file}
+}
+
+// File returns the underlying storage file ID.
+func (h *Heap) File() int { return h.file }
+
+// NumPages returns the current heap length in pages.
+func (h *Heap) NumPages() int { return h.buf.NumPages(h.file) }
+
+// Insert appends a tuple and returns its TID. Loads run untraced.
+func (h *Heap) Insert(vals []value.Value, scratch []byte) (storage.TID, error) {
+	data := storage.EncodeTuple(vals, scratch)
+	if len(data) > storage.PageBytes/4 {
+		return storage.TID{}, fmt.Errorf("access: tuple too large (%d bytes)", len(data))
+	}
+	n := h.buf.NumPages(h.file)
+	if n > 0 {
+		b, err := h.buf.Get(nil, h.file, n-1)
+		if err != nil {
+			return storage.TID{}, err
+		}
+		if slot, ok := b.Page.AddTuple(data); ok {
+			h.buf.Release(b, true)
+			return storage.TID{Page: uint32(n - 1), Slot: uint16(slot)}, nil
+		}
+		h.buf.Release(b, false)
+	}
+	b, err := h.buf.NewPage(h.file)
+	if err != nil {
+		return storage.TID{}, err
+	}
+	slot, ok := b.Page.AddTuple(data)
+	h.buf.Release(b, true)
+	if !ok {
+		return storage.TID{}, fmt.Errorf("access: tuple does not fit an empty page")
+	}
+	return storage.TID{Page: uint32(b.PageNo), Slot: uint16(slot)}, nil
+}
+
+// Fetch reads the tuple at tid into dst (heap_fetch).
+func (h *Heap) Fetch(tr probe.Tracer, tid storage.TID, dst []value.Value) ([]value.Value, error) {
+	tr = probe.Or(tr)
+	tr.Emit(probe.HeapFetchEnter)
+	b, err := h.buf.Get(tr, h.file, int(tid.Page))
+	if err != nil {
+		return nil, err
+	}
+	defer h.buf.Release(b, false)
+	tr.Emit(probe.HeapFetchCont)
+	raw, err := b.Page.Tuple(int(tid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	tr.Emit(probe.HeapDeform)
+	vals, err := storage.DecodeTuple(raw, dst)
+	tr.Emit(probe.HeapFetchEmit)
+	return vals, err
+}
+
+// HeapScan iterates a heap file in physical order, pinning one page at
+// a time (heap_getnext).
+type HeapScan struct {
+	heap *Heap
+	page int
+	slot int
+	buf  buffer.Buf
+	held bool
+	eof  bool
+}
+
+// BeginScan starts a sequential scan.
+func (h *Heap) BeginScan() *HeapScan {
+	return &HeapScan{heap: h}
+}
+
+// Next returns the next tuple (decoded into dst) and its TID; ok is
+// false at end of file.
+func (s *HeapScan) Next(tr probe.Tracer, dst []value.Value) (vals []value.Value, tid storage.TID, ok bool, err error) {
+	tr = probe.Or(tr)
+	tr.Emit(probe.HeapGetNextEnter)
+	if s.eof {
+		tr.Emit(probe.HeapGetNextEOF)
+		return nil, storage.TID{}, false, nil
+	}
+	for {
+		if !s.held {
+			if s.page >= s.heap.buf.NumPages(s.heap.file) {
+				s.eof = true
+				tr.Emit(probe.HeapGetNextEOF)
+				return nil, storage.TID{}, false, nil
+			}
+			tr.Emit(probe.HeapGetNextPage)
+			s.buf, err = s.heap.buf.Get(tr, s.heap.file, s.page)
+			if err != nil {
+				s.eof = true
+				return nil, storage.TID{}, false, err
+			}
+			tr.Emit(probe.HeapGetNextPageCont)
+			s.held = true
+			s.slot = 0
+		}
+		if s.slot < s.buf.Page.NumSlots() {
+			tr.Emit(probe.HeapGetNextTuple)
+			raw, terr := s.buf.Page.Tuple(s.slot)
+			if terr != nil {
+				s.Close()
+				return nil, storage.TID{}, false, terr
+			}
+			tr.Emit(probe.HeapDeform)
+			vals, err = storage.DecodeTuple(raw, dst)
+			if err != nil {
+				s.Close()
+				return nil, storage.TID{}, false, err
+			}
+			tid = storage.TID{Page: uint32(s.page), Slot: uint16(s.slot)}
+			s.slot++
+			tr.Emit(probe.HeapGetNextEmit)
+			return vals, tid, true, nil
+		}
+		tr.Emit(probe.HeapGetNextNewPage)
+		s.heap.buf.Release(s.buf, false)
+		s.held = false
+		s.page++
+	}
+}
+
+// Close releases any held page.
+func (s *HeapScan) Close() {
+	if s.held {
+		s.heap.buf.Release(s.buf, false)
+		s.held = false
+	}
+	s.eof = true
+}

@@ -1,0 +1,190 @@
+// Package buffer implements the buffer manager of the database kernel:
+// a fixed pool of page frames over the storage manager with clock
+// (second-chance) replacement, pin/unpin discipline and hit/miss
+// statistics — the module the paper identifies (with the access
+// methods) as a major source of instruction-cache misses.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/db/probe"
+	"repro/internal/db/storage"
+)
+
+type key struct{ file, page int }
+
+type frame struct {
+	key   key
+	page  storage.Page
+	pins  int
+	dirty bool
+	ref   bool
+	valid bool
+}
+
+// Buf is a pinned page handle.
+type Buf struct {
+	// Page is the frame contents; valid while pinned.
+	Page storage.Page
+	// File and PageNo identify the page.
+	File, PageNo int
+	idx          int
+}
+
+// Manager is the buffer pool.
+type Manager struct {
+	store  *storage.Store
+	frames []frame
+	lookup map[key]int
+	hand   int
+	hits   uint64
+	misses uint64
+}
+
+// New returns a buffer pool of n frames over the store.
+func New(store *storage.Store, n int) *Manager {
+	m := &Manager{
+		store:  store,
+		frames: make([]frame, n),
+		lookup: make(map[key]int, n),
+	}
+	for i := range m.frames {
+		m.frames[i].page = storage.NewPage()
+	}
+	return m
+}
+
+// Get pins the given page, reading it from storage on a miss. The
+// tracer receives the ReadBuffer instrumentation events (nil means
+// untraced).
+func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
+	tr = probe.Or(tr)
+	tr.Emit(probe.BufGetEnter)
+	tr.Emit(probe.BufTableLookup)
+	k := key{file, page}
+	if i, ok := m.lookup[k]; ok {
+		m.hits++
+		f := &m.frames[i]
+		f.pins++
+		f.ref = true
+		tr.Emit(probe.BufGetHit)
+		return Buf{Page: f.page, File: file, PageNo: page, idx: i}, nil
+	}
+	m.misses++
+	tr.Emit(probe.BufGetMiss)
+	i, err := m.evict(tr)
+	if err != nil {
+		return Buf{}, err
+	}
+	tr.Emit(probe.BufGetRead)
+	f := &m.frames[i]
+	if err := m.store.ReadPage(file, page, f.page); err != nil {
+		f.valid = false
+		return Buf{}, err
+	}
+	tr.Emit(probe.SmgrRead)
+	f.key = k
+	f.valid = true
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	m.lookup[k] = i
+	tr.Emit(probe.BufGetFill)
+	return Buf{Page: f.page, File: file, PageNo: page, idx: i}, nil
+}
+
+// NewPage allocates a fresh page in the file and returns it pinned.
+func (m *Manager) NewPage(file int) (Buf, error) {
+	pageNo, err := m.store.AllocPage(file)
+	if err != nil {
+		return Buf{}, err
+	}
+	return m.Get(nil, file, pageNo)
+}
+
+// Release unpins a buffer, marking it dirty if modified.
+func (m *Manager) Release(b Buf, dirty bool) {
+	f := &m.frames[b.idx]
+	if f.pins <= 0 || f.key != (key{b.File, b.PageNo}) {
+		panic(fmt.Sprintf("buffer: bad release of file %d page %d", b.File, b.PageNo))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// evict finds a free frame with the clock algorithm, flushing a dirty
+// victim (StrategyGetBuffer).
+func (m *Manager) evict(tr probe.Tracer) (int, error) {
+	tr = probe.Or(tr)
+	tr.Emit(probe.BufClockEnter)
+	n := len(m.frames)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		i := m.hand
+		m.hand = (m.hand + 1) % n
+		f := &m.frames[i]
+		if !f.valid {
+			tr.Emit(probe.BufClockTake)
+			return i, nil
+		}
+		if f.pins > 0 {
+			tr.Emit(probe.BufClockSkip)
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			tr.Emit(probe.BufClockSkip)
+			continue
+		}
+		if f.dirty {
+			if err := m.store.WritePage(f.key.file, f.key.page, f.page); err != nil {
+				return 0, err
+			}
+			f.dirty = false
+		}
+		delete(m.lookup, f.key)
+		f.valid = false
+		tr.Emit(probe.BufClockTake)
+		return i, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// FlushAll writes every dirty frame back to storage (used after bulk
+// loads).
+func (m *Manager) FlushAll() error {
+	for i := range m.frames {
+		f := &m.frames[i]
+		if f.valid && f.dirty {
+			if err := m.store.WritePage(f.key.file, f.key.page, f.page); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns hit and miss counts.
+func (m *Manager) Stats() (hits, misses uint64) { return m.hits, m.misses }
+
+// NumPages returns the length of a storage file in pages (pass-through
+// to the storage manager so access methods need only the pool).
+func (m *Manager) NumPages(file int) int { return m.store.NumPages(file) }
+
+// PinnedFrames returns the number of currently pinned frames (for
+// leak checks in tests).
+func (m *Manager) PinnedFrames() int {
+	n := 0
+	for i := range m.frames {
+		if m.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the pool size in frames.
+func (m *Manager) Size() int { return len(m.frames) }

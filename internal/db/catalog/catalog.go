@@ -1,0 +1,150 @@
+// Package catalog holds the schema metadata of the database kernel:
+// column and table definitions, index descriptors, and the catalog
+// mapping names to storage files — the information the planner and
+// executor resolve names against.
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/db/value"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type value.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexKind distinguishes the two index access methods, matching the
+// paper's Btree-indexed and Hash-indexed databases.
+type IndexKind uint8
+
+const (
+	// BTree is an ordered index supporting range scans.
+	BTree IndexKind = iota
+	// Hash is an equality-only index.
+	Hash
+)
+
+// String returns "btree" or "hash".
+func (k IndexKind) String() string {
+	if k == Hash {
+		return "hash"
+	}
+	return "btree"
+}
+
+// Index describes a (single-column) index on a table.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	Col    int // resolved column position
+	Kind   IndexKind
+	Unique bool
+	FileID int // storage file of the index
+}
+
+// Table describes a stored relation.
+type Table struct {
+	Name    string
+	Schema  *Schema
+	FileID  int // storage file of the heap
+	Indexes []*Index
+}
+
+// IndexOn returns the first index on the named column, or nil.
+func (t *Table) IndexOn(col string) *Index {
+	for _, ix := range t.Indexes {
+		if ix.Column == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Catalog maps names to tables.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+	nextID int
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// AddTable registers a table and assigns its heap file ID.
+func (c *Catalog) AddTable(name string, schema *Schema) (*Table, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema, FileID: c.nextID}
+	c.nextID++
+	c.tables[name] = t
+	c.order = append(c.order, name)
+	return t, nil
+}
+
+// AddIndex registers an index on table.column and assigns its file ID.
+func (c *Catalog) AddIndex(table, column string, kind IndexKind, unique bool) (*Index, error) {
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", table)
+	}
+	col := t.Schema.ColIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("catalog: no column %q in %q", column, table)
+	}
+	ix := &Index{
+		Name:   fmt.Sprintf("%s_%s_%s", table, column, kind),
+		Table:  table,
+		Column: column,
+		Col:    col,
+		Kind:   kind,
+		Unique: unique,
+		FileID: c.nextID,
+	}
+	c.nextID++
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables returns all tables in creation order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+// NumFiles returns the number of storage files allocated so far.
+func (c *Catalog) NumFiles() int { return c.nextID }

@@ -1,0 +1,71 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/db/value"
+)
+
+func sampleSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Type: value.Int},
+		Column{Name: "name", Type: value.Str},
+		Column{Name: "born", Type: value.Date},
+	)
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := sampleSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.ColIndex("name") != 1 || s.ColIndex("id") != 0 {
+		t.Fatal("ColIndex wrong")
+	}
+	if s.ColIndex("ghost") != -1 {
+		t.Fatal("missing column must return -1")
+	}
+}
+
+func TestCatalogTablesAndIndexes(t *testing.T) {
+	c := New()
+	tb, err := c.AddTable("people", sampleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.FileID != 0 || c.NumFiles() != 1 {
+		t.Fatalf("file allocation wrong: %d/%d", tb.FileID, c.NumFiles())
+	}
+	if _, err := c.AddTable("people", sampleSchema()); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	ix, err := c.AddIndex("people", "id", BTree, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.FileID != 1 || ix.Col != 0 || !ix.Unique {
+		t.Fatalf("index wrong: %+v", ix)
+	}
+	if _, err := c.AddIndex("people", "ghost", Hash, false); err == nil {
+		t.Fatal("index on missing column must fail")
+	}
+	if _, err := c.AddIndex("ghost", "id", Hash, false); err == nil {
+		t.Fatal("index on missing table must fail")
+	}
+	if tb.IndexOn("id") == nil || tb.IndexOn("name") != nil {
+		t.Fatal("IndexOn wrong")
+	}
+	got, ok := c.Table("people")
+	if !ok || got != tb {
+		t.Fatal("Table lookup wrong")
+	}
+	if len(c.Tables()) != 1 {
+		t.Fatal("Tables() wrong")
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if BTree.String() != "btree" || Hash.String() != "hash" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,169 @@
+// Package engine assembles the database kernel: catalog, storage
+// manager, buffer pool, access methods and executor, with bulk loading
+// and index maintenance — the "backend" of the paper's Figure 1.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/db/access"
+	"repro/internal/db/buffer"
+	"repro/internal/db/catalog"
+	"repro/internal/db/executor"
+	"repro/internal/db/probe"
+	"repro/internal/db/storage"
+	"repro/internal/db/value"
+)
+
+// DB is one database instance.
+type DB struct {
+	Cat   *catalog.Catalog
+	Store *storage.Store
+	Buf   *buffer.Manager
+
+	heaps  map[string]*access.Heap
+	btrees map[string]*access.BTree
+	hashes map[string]*access.HashIndex
+	rows   map[string]int
+}
+
+// Open creates an empty database with a buffer pool of the given
+// number of frames.
+func Open(frames int) *DB {
+	st := storage.NewStore(0)
+	return &DB{
+		Cat:    catalog.New(),
+		Store:  st,
+		Buf:    buffer.New(st, frames),
+		heaps:  make(map[string]*access.Heap),
+		btrees: make(map[string]*access.BTree),
+		hashes: make(map[string]*access.HashIndex),
+		rows:   make(map[string]int),
+	}
+}
+
+// CreateTable registers a table and its heap file.
+func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, error) {
+	t, err := db.Cat.AddTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.Store.EnsureFiles(db.Cat.NumFiles())
+	db.heaps[name] = access.NewHeap(db.Buf, t.FileID)
+	return t, nil
+}
+
+// CreateIndex builds an index on table.column. For hash indices the
+// bucket count is sized from the current table cardinality, so build
+// indices after loading (as the paper's database setup does).
+func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique bool) error {
+	ix, err := db.Cat.AddIndex(table, column, kind, unique)
+	if err != nil {
+		return err
+	}
+	db.Store.EnsureFiles(db.Cat.NumFiles())
+	switch kind {
+	case catalog.BTree:
+		bt, err := access.CreateBTree(db.Buf, ix.FileID)
+		if err != nil {
+			return err
+		}
+		db.btrees[ix.Name] = bt
+	case catalog.Hash:
+		buckets := db.rows[table]/200 + 4
+		hx, err := access.CreateHashIndex(db.Buf, ix.FileID, buckets)
+		if err != nil {
+			return err
+		}
+		db.hashes[ix.Name] = hx
+	}
+	// Backfill from the heap.
+	heap := db.heaps[table]
+	scan := heap.BeginScan()
+	for {
+		vals, tid, ok, err := scan.Next(nil, nil)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := db.indexInsertOne(ix, vals, tid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) indexInsertOne(ix *catalog.Index, vals []value.Value, tid storage.TID) error {
+	key := vals[ix.Col]
+	if key.T != value.Int && key.T != value.Date {
+		return fmt.Errorf("engine: index %s: only integer/date keys supported", ix.Name)
+	}
+	switch ix.Kind {
+	case catalog.BTree:
+		return db.btrees[ix.Name].Insert(key.I, tid)
+	default:
+		return db.hashes[ix.Name].Insert(key.I, tid)
+	}
+}
+
+// Insert appends a row to a table, maintaining its indices.
+func (db *DB) Insert(table string, row []value.Value) error {
+	t, ok := db.Cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("engine: %s: got %d values, want %d", table, len(row), t.Schema.Len())
+	}
+	tid, err := db.heaps[table].Insert(row, nil)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		if err := db.indexInsertOne(ix, row, tid); err != nil {
+			return err
+		}
+	}
+	db.rows[table]++
+	return nil
+}
+
+// NumRows returns the loaded cardinality of a table.
+func (db *DB) NumRows(table string) int { return db.rows[table] }
+
+// Heap returns a table's heap access method.
+func (db *DB) Heap(table string) *access.Heap { return db.heaps[table] }
+
+// BTreeFor returns the B-tree for an index descriptor, if built.
+func (db *DB) BTreeFor(ix *catalog.Index) *access.BTree { return db.btrees[ix.Name] }
+
+// HashFor returns the hash index for an index descriptor, if built.
+func (db *DB) HashFor(ix *catalog.Index) *access.HashIndex { return db.hashes[ix.Name] }
+
+// Flush writes back all dirty pages (call after loading).
+func (db *DB) Flush() error { return db.Buf.FlushAll() }
+
+// Run executes a plan to completion and returns the result rows.
+func Run(plan executor.Node) ([]executor.Tuple, error) {
+	if err := plan.Open(); err != nil {
+		return nil, err
+	}
+	var out []executor.Tuple
+	for {
+		tup, ok, err := plan.Next()
+		if err != nil {
+			plan.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, tup)
+	}
+	return out, plan.Close()
+}
+
+// NewCtx returns an executor context bound to the given tracer.
+func NewCtx(tr probe.Tracer) *executor.Ctx { return executor.NewCtx(tr) }

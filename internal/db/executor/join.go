@@ -1,0 +1,553 @@
+package executor
+
+import (
+	"repro/internal/db/access"
+	"repro/internal/db/catalog"
+	"repro/internal/db/probe"
+	"repro/internal/db/value"
+)
+
+// joinSchema concatenates two input schemas.
+func joinSchema(l, r *catalog.Schema) *catalog.Schema {
+	cols := make([]catalog.Column, 0, l.Len()+r.Len())
+	cols = append(cols, l.Columns...)
+	cols = append(cols, r.Columns...)
+	return catalog.NewSchema(cols...)
+}
+
+func joinRow(l, r Tuple) Tuple {
+	out := make(Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// NestLoop is the naive nested-loop join: for every outer tuple the
+// inner plan is rescanned (ExecNestLoop). Quals see the concatenated
+// row.
+type NestLoop struct {
+	C       *Ctx
+	Outer   Node
+	Inner   Node
+	Quals   []Expr
+	out     *catalog.Schema
+	cur     Tuple
+	haveCur bool
+}
+
+// Open implements Node.
+func (n *NestLoop) Open() error {
+	n.cur = nil
+	n.haveCur = false
+	if err := n.Outer.Open(); err != nil {
+		return err
+	}
+	return n.Inner.Open()
+}
+
+// Next implements Node.
+func (n *NestLoop) Next() (Tuple, bool, error) {
+	c := n.C
+	c.Tr.Emit(probe.NLEnter)
+	for {
+		if !n.haveCur {
+			tup, ok, err := c.child(probe.NLOuterCall, probe.NLOuterCont, n.Outer)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				c.Tr.Emit(probe.NLEOF)
+				return nil, false, nil
+			}
+			c.Tr.Emit(probe.NLOuterOK)
+			n.cur = tup
+			n.haveCur = true
+		}
+		itup, ok, err := c.child(probe.NLInnerCall, probe.NLInnerCont, n.Inner)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			// Inner exhausted: rescan it for the next outer tuple.
+			c.Tr.Emit(probe.NLRescan)
+			n.haveCur = false
+			if err := n.Inner.Close(); err != nil {
+				return nil, false, err
+			}
+			if err := n.Inner.Open(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		row := joinRow(n.cur, itup)
+		c.Tr.Emit(probe.NLJoin)
+		if len(n.Quals) > 0 {
+			c.Tr.Emit(probe.NLQualCall)
+			pass := ExecQual(c, n.Quals, row)
+			c.Tr.Emit(probe.NLQualCont)
+			if !pass {
+				c.Tr.Emit(probe.NLNext)
+				continue
+			}
+			c.Tr.Emit(probe.NLEmit)
+			return row, true, nil
+		}
+		c.Tr.Emit(probe.NLEmitDirect)
+		return row, true, nil
+	}
+}
+
+// Close implements Node.
+func (n *NestLoop) Close() error {
+	if err := n.Outer.Close(); err != nil {
+		return err
+	}
+	return n.Inner.Close()
+}
+
+// Schema implements Node.
+func (n *NestLoop) Schema() *catalog.Schema {
+	if n.out == nil {
+		n.out = joinSchema(n.Outer.Schema(), n.Inner.Schema())
+	}
+	return n.out
+}
+
+// IndexLoopJoin joins by probing an inner index with the outer join
+// key for each outer tuple — PostgreSQL's nested loop with an inner
+// index scan, the plan shape the paper's Btree/Hash databases exist
+// for. The inner relation contributes full heap tuples.
+type IndexLoopJoin struct {
+	C        *Ctx
+	Outer    Node
+	OuterKey int // column of the outer tuple holding the join key
+	Heap     *access.Heap
+	BTree    *access.BTree
+	HashIdx  *access.HashIndex
+	InnerSch *catalog.Schema
+	Quals    []Expr // residual quals over the concatenated row
+
+	out     *catalog.Schema
+	cur     Tuple
+	haveCur bool
+	bscan   *access.BTreeScan
+	hscan   *access.HashScan
+	key     int64
+}
+
+// Open implements Node.
+func (j *IndexLoopJoin) Open() error {
+	j.cur = nil
+	j.haveCur = false
+	j.bscan = nil
+	j.hscan = nil
+	return j.Outer.Open()
+}
+
+// Next implements Node.
+func (j *IndexLoopJoin) Next() (Tuple, bool, error) {
+	c := j.C
+	c.Tr.Emit(probe.NLEnter)
+	for {
+		if !j.haveCur {
+			tup, ok, err := c.child(probe.NLOuterCall, probe.NLOuterCont, j.Outer)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				c.Tr.Emit(probe.NLEOF)
+				return nil, false, nil
+			}
+			j.cur = tup
+			j.haveCur = true
+			kv := tup[j.OuterKey]
+			j.key = kv.I
+			// Start the inner index probe.
+			c.Tr.Emit(probe.NLStartScan)
+			if j.BTree != nil {
+				j.bscan, err = j.BTree.SeekGE(c.Tr, j.key)
+				if err != nil {
+					return nil, false, err
+				}
+			} else {
+				j.hscan = j.HashIdx.Lookup(c.Tr, j.key)
+			}
+			c.Tr.Emit(probe.NLStartCont)
+		}
+		// Pull the next inner match.
+		var (
+			tid access.TID
+			ok  bool
+			err error
+		)
+		c.Tr.Emit(probe.NLInnerCall)
+		if j.bscan != nil {
+			var k int64
+			k, tid, ok, err = j.bscan.Next(c.Tr)
+			if ok && k != j.key {
+				ok = false
+			}
+		} else {
+			tid, ok, err = j.hscan.Next(c.Tr)
+		}
+		c.Tr.Emit(probe.NLInnerCont)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.Tr.Emit(probe.NLRescan)
+			j.haveCur = false
+			j.bscan = nil
+			j.hscan = nil
+			continue
+		}
+		c.Tr.Emit(probe.NLFetch)
+		ivals, err := j.Heap.Fetch(c.Tr, tid, nil)
+		c.Tr.Emit(probe.NLFetchCont)
+		if err != nil {
+			return nil, false, err
+		}
+		row := joinRow(j.cur, Tuple(ivals))
+		if len(j.Quals) > 0 {
+			c.Tr.Emit(probe.NLQualCall)
+			pass := ExecQual(c, j.Quals, row)
+			c.Tr.Emit(probe.NLQualCont)
+			if !pass {
+				c.Tr.Emit(probe.NLNext)
+				continue
+			}
+			c.Tr.Emit(probe.NLEmit)
+			return row, true, nil
+		}
+		c.Tr.Emit(probe.NLEmitDirect)
+		return row, true, nil
+	}
+}
+
+// Close implements Node.
+func (j *IndexLoopJoin) Close() error {
+	j.bscan = nil
+	j.hscan = nil
+	return j.Outer.Close()
+}
+
+// Schema implements Node.
+func (j *IndexLoopJoin) Schema() *catalog.Schema {
+	if j.out == nil {
+		j.out = joinSchema(j.Outer.Schema(), j.InnerSch)
+	}
+	return j.out
+}
+
+// HashJoin builds an in-memory hash table over the inner input, then
+// probes it with each outer tuple (ExecHashJoin). Keys are equijoin
+// columns; residual quals run on concatenated rows.
+type HashJoin struct {
+	C        *Ctx
+	Outer    Node
+	Inner    Node
+	OuterKey int
+	InnerKey int
+	Quals    []Expr
+
+	out    *catalog.Schema
+	table  map[uint64][]Tuple
+	built  bool
+	cur    Tuple
+	bucket []Tuple
+	bpos   int
+}
+
+// Open implements Node.
+func (h *HashJoin) Open() error {
+	h.table = nil
+	h.built = false
+	h.cur = nil
+	h.bucket = nil
+	h.bpos = 0
+	if err := h.Outer.Open(); err != nil {
+		return err
+	}
+	return h.Inner.Open()
+}
+
+func (h *HashJoin) build() error {
+	c := h.C
+	c.Tr.Emit(probe.HJBuildStart)
+	h.table = make(map[uint64][]Tuple)
+	for {
+		tup, ok, err := c.child(probe.HJBuildCall, probe.HJBuildCont, h.Inner)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.Tr.Emit(probe.HJBuildInsert)
+		c.Tr.Emit(probe.HashFunc)
+		k := value.Hash(tup[h.InnerKey])
+		h.table[k] = append(h.table[k], tup)
+		c.Tr.Emit(probe.HJBuildInsCont)
+	}
+	c.Tr.Emit(probe.HJBuildDone)
+	h.built = true
+	return nil
+}
+
+// Next implements Node.
+func (h *HashJoin) Next() (Tuple, bool, error) {
+	c := h.C
+	c.Tr.Emit(probe.HJEnter)
+	fresh := false
+	if !h.built {
+		if err := h.build(); err != nil {
+			return nil, false, err
+		}
+		fresh = true // build-done block falls through to the outer fetch
+	} else {
+		c.Tr.Emit(probe.HJResume)
+	}
+	for {
+		if !fresh {
+			// Drain the current bucket.
+			for h.bpos < len(h.bucket) {
+				cand := h.bucket[h.bpos]
+				h.bpos++
+				c.Tr.Emit(probe.HJCandCall)
+				c.Tr.Emit(cmpProbeFor(h.cur[h.OuterKey]))
+				eq := value.Equal(h.cur[h.OuterKey], cand[h.InnerKey])
+				c.Tr.Emit(probe.HJCandCont)
+				if !eq {
+					c.Tr.Emit(probe.HJCandMiss)
+					continue
+				}
+				row := joinRow(h.cur, cand)
+				if len(h.Quals) > 0 {
+					c.Tr.Emit(probe.HJQualCall)
+					pass := ExecQual(c, h.Quals, row)
+					c.Tr.Emit(probe.HJQualCont)
+					if !pass {
+						c.Tr.Emit(probe.HJCandNext)
+						continue
+					}
+					c.Tr.Emit(probe.HJMatch)
+					return row, true, nil
+				}
+				c.Tr.Emit(probe.HJMatchDirect)
+				return row, true, nil
+			}
+			c.Tr.Emit(probe.HJBucketDone)
+		}
+		fresh = false
+		// Next outer tuple.
+		tup, ok, err := c.child(probe.HJOuterCall, probe.HJOuterCont, h.Outer)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.Tr.Emit(probe.HJEOF)
+			return nil, false, nil
+		}
+		h.cur = tup
+		c.Tr.Emit(probe.HJProbeCall)
+		c.Tr.Emit(probe.HashFunc)
+		k := value.Hash(tup[h.OuterKey])
+		h.bucket = h.table[k]
+		h.bpos = 0
+		c.Tr.Emit(probe.HJProbeCont)
+	}
+}
+
+// Close implements Node.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	h.built = false
+	if err := h.Outer.Close(); err != nil {
+		return err
+	}
+	return h.Inner.Close()
+}
+
+// Schema implements Node.
+func (h *HashJoin) Schema() *catalog.Schema {
+	if h.out == nil {
+		h.out = joinSchema(h.Outer.Schema(), h.Inner.Schema())
+	}
+	return h.out
+}
+
+// MergeJoin joins two inputs sorted on their join keys, buffering
+// duplicate inner groups so every matching pair is produced
+// (ExecMergeJoin).
+type MergeJoin struct {
+	C        *Ctx
+	Outer    Node
+	Inner    Node
+	OuterKey int
+	InnerKey int
+	Quals    []Expr
+
+	out          *catalog.Schema
+	outerTup     Tuple
+	outerOK      bool
+	innerTup     Tuple
+	innerOK      bool
+	started      bool
+	group        []Tuple // current inner duplicate group
+	groupKey     value.Value
+	gpos         int
+	outerInGroup bool
+}
+
+// Open implements Node.
+func (m *MergeJoin) Open() error {
+	m.started = false
+	m.group = nil
+	m.gpos = 0
+	m.outerInGroup = false
+	if err := m.Outer.Open(); err != nil {
+		return err
+	}
+	return m.Inner.Open()
+}
+
+func (m *MergeJoin) advanceOuter() error {
+	t, ok, err := m.C.child(probe.MJOuterCall, probe.MJOuterCont, m.Outer)
+	m.outerTup, m.outerOK = t, ok
+	return err
+}
+
+func (m *MergeJoin) advanceInner() error {
+	t, ok, err := m.C.child(probe.MJInnerCall, probe.MJInnerCont, m.Inner)
+	m.innerTup, m.innerOK = t, ok
+	return err
+}
+
+// Next implements Node.
+func (m *MergeJoin) Next() (Tuple, bool, error) {
+	c := m.C
+	c.Tr.Emit(probe.MJEnter)
+	if !m.started {
+		m.started = true
+		if err := m.advanceOuter(); err != nil {
+			return nil, false, err
+		}
+		if err := m.advanceInner(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		// Emit pending (outer, group) pairs.
+		if m.outerInGroup {
+			for m.gpos < len(m.group) {
+				itup := m.group[m.gpos]
+				m.gpos++
+				row := joinRow(m.outerTup, itup)
+				if len(m.Quals) > 0 {
+					c.Tr.Emit(probe.MJQualCall)
+					pass := ExecQual(c, m.Quals, row)
+					c.Tr.Emit(probe.MJQualCont)
+					if !pass {
+						continue
+					}
+				}
+				c.Tr.Emit(probe.MJEmit)
+				return row, true, nil
+			}
+			// Group exhausted for this outer tuple: advance outer and
+			// re-check it against the same group.
+			m.gpos = 0
+			m.outerInGroup = false
+			if err := m.advanceOuter(); err != nil {
+				return nil, false, err
+			}
+		}
+		if !m.outerOK {
+			c.Tr.Emit(probe.MJEOF)
+			return nil, false, nil
+		}
+		// Does the current outer match the buffered group?
+		if len(m.group) > 0 {
+			c.Tr.Emit(probe.MJCmpCall)
+			c.Tr.Emit(cmpProbeFor(m.outerTup[m.OuterKey]))
+			cmp := compareVals(m.outerTup[m.OuterKey], m.groupKey)
+			c.Tr.Emit(probe.MJCmpCont)
+			if cmp == 0 {
+				m.outerInGroup = true
+				m.gpos = 0
+				continue
+			}
+			m.group = nil
+		}
+		if !m.innerOK {
+			c.Tr.Emit(probe.MJEOF)
+			return nil, false, nil
+		}
+		// Align keys.
+		c.Tr.Emit(probe.MJCmpCall)
+		c.Tr.Emit(cmpProbeFor(m.outerTup[m.OuterKey]))
+		cmp := compareVals(m.outerTup[m.OuterKey], m.innerTup[m.InnerKey])
+		c.Tr.Emit(probe.MJCmpCont)
+		switch {
+		case cmp < 0:
+			if err := m.advanceOuter(); err != nil {
+				return nil, false, err
+			}
+		case cmp > 0:
+			if err := m.advanceInner(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Buffer the inner duplicate group for this key.
+			m.groupKey = m.innerTup[m.InnerKey]
+			m.group = m.group[:0]
+			for m.innerOK {
+				c.Tr.Emit(probe.MJCmpCall)
+				c.Tr.Emit(cmpProbeFor(m.innerTup[m.InnerKey]))
+				same := compareVals(m.innerTup[m.InnerKey], m.groupKey) == 0
+				c.Tr.Emit(probe.MJCmpCont)
+				if !same {
+					break
+				}
+				m.group = append(m.group, m.innerTup)
+				if err := m.advanceInner(); err != nil {
+					return nil, false, err
+				}
+			}
+			m.outerInGroup = true
+			m.gpos = 0
+		}
+	}
+}
+
+// Close implements Node.
+func (m *MergeJoin) Close() error {
+	if err := m.Outer.Close(); err != nil {
+		return err
+	}
+	return m.Inner.Close()
+}
+
+// Schema implements Node.
+func (m *MergeJoin) Schema() *catalog.Schema {
+	if m.out == nil {
+		m.out = joinSchema(m.Outer.Schema(), m.Inner.Schema())
+	}
+	return m.out
+}
+
+// compareVals wraps value.Compare for the executor (NULLs first).
+func compareVals(a, b value.Value) int { return value.Compare(a, b) }
+
+// cmpProbeFor picks the per-type comparator probe.
+func cmpProbeFor(v value.Value) probe.ID {
+	switch v.T {
+	case value.Float:
+		return probe.CmpFlt
+	case value.Str:
+		return probe.CmpStr
+	case value.Date:
+		return probe.CmpDate
+	default:
+		return probe.CmpInt
+	}
+}

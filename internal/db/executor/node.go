@@ -1,0 +1,54 @@
+package executor
+
+import (
+	"repro/internal/db/catalog"
+	"repro/internal/db/probe"
+)
+
+// Node is one operator of the execution plan tree (Volcano iterator
+// model). Open prepares the node (and must reset it if called again),
+// Next produces the next tuple, Close releases resources.
+type Node interface {
+	Open() error
+	Next() (Tuple, bool, error)
+	Close() error
+	// Schema describes the output columns (used by the planner to
+	// resolve variable references).
+	Schema() *catalog.Schema
+}
+
+// child invokes a child node through the ExecProcNode dispatcher,
+// bracketing the call with the caller's call-site and continuation
+// probes — the per-tuple call chain that gives DBMS code its long,
+// loop-free instruction sequences.
+func (c *Ctx) child(call, cont probe.ID, n Node) (Tuple, bool, error) {
+	c.Tr.Emit(call)
+	c.Tr.Emit(probe.ExecProcEnter)
+	t, ok, err := n.Next()
+	c.Tr.Emit(probe.ExecProcExit)
+	c.Tr.Emit(cont)
+	return t, ok, err
+}
+
+// tupleCompare compares two tuples on the given columns and
+// directions, emitting the per-column comparator probes (PostgreSQL's
+// per-type btXXXcmp functions called from tuplesort/group/mergejoin).
+func tupleCompare(c *Ctx, a, b Tuple, cols []SortKey) int {
+	c.Tr.Emit(probe.TupCmpEnter)
+	res := 0
+	for _, k := range cols {
+		c.Tr.Emit(probe.TupCmpCol)
+		c.Tr.Emit(cmpProbeFor(a[k.Col]))
+		r := compareVals(a[k.Col], b[k.Col])
+		c.Tr.Emit(probe.TupCmpColCont)
+		if r != 0 {
+			if k.Desc {
+				r = -r
+			}
+			res = r
+			break
+		}
+	}
+	c.Tr.Emit(probe.TupCmpDone)
+	return res
+}

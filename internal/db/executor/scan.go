@@ -1,0 +1,330 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/db/access"
+	"repro/internal/db/catalog"
+	"repro/internal/db/probe"
+)
+
+// SeqScan reads a heap file sequentially, applying an optional
+// qualifier — PostgreSQL's ExecSeqScan over heap_getnext.
+type SeqScan struct {
+	C      *Ctx
+	Heap   *access.Heap
+	Out    *catalog.Schema
+	Quals  []Expr
+	scan   *access.HeapScan
+	opened bool
+}
+
+// Open implements Node.
+func (s *SeqScan) Open() error {
+	s.scan = s.Heap.BeginScan()
+	s.opened = true
+	return nil
+}
+
+// Next implements Node.
+func (s *SeqScan) Next() (Tuple, bool, error) {
+	if !s.opened {
+		return nil, false, fmt.Errorf("executor: SeqScan not opened")
+	}
+	c := s.C
+	c.Tr.Emit(probe.SeqScanEnter)
+	for {
+		c.Tr.Emit(probe.SeqScanCall)
+		vals, _, ok, err := s.scan.Next(c.Tr, nil)
+		c.Tr.Emit(probe.SeqScanCont)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.Tr.Emit(probe.SeqScanEOF)
+			return nil, false, nil
+		}
+		if len(s.Quals) > 0 {
+			c.Tr.Emit(probe.SeqScanQualCall)
+			pass := ExecQual(c, s.Quals, Tuple(vals))
+			c.Tr.Emit(probe.SeqScanQualCont)
+			if !pass {
+				c.Tr.Emit(probe.SeqScanNext)
+				continue
+			}
+			c.Tr.Emit(probe.SeqScanEmit)
+			return Tuple(vals), true, nil
+		}
+		c.Tr.Emit(probe.SeqScanEmitDirect)
+		return Tuple(vals), true, nil
+	}
+}
+
+// Close implements Node.
+func (s *SeqScan) Close() error {
+	if s.scan != nil {
+		s.scan.Close()
+		s.scan = nil
+	}
+	s.opened = false
+	return nil
+}
+
+// Schema implements Node.
+func (s *SeqScan) Schema() *catalog.Schema { return s.Out }
+
+// IndexScan reads tuples through an index — a B-tree range scan
+// (lo <= key <= hi) or a hash equality lookup — fetching each heap
+// tuple by TID and applying residual qualifiers (ExecIndexScan).
+type IndexScan struct {
+	C    *Ctx
+	Heap *access.Heap
+	Out  *catalog.Schema
+
+	// BTree or HashIdx is set depending on the index kind.
+	BTree   *access.BTree
+	HashIdx *access.HashIndex
+
+	// Lo/Hi bound a B-tree range scan (inclusive); HasLo/HasHi say
+	// which bounds exist. EqKey drives a hash lookup.
+	Lo, Hi       int64
+	HasLo, HasHi bool
+	EqKey        int64
+
+	Quals []Expr
+
+	bscan  *access.BTreeScan
+	hscan  *access.HashScan
+	opened bool
+}
+
+// Open implements Node. The index descent itself happens lazily on
+// the first Next call so it is attributed to the traced scan, as
+// ExecIndexScan does.
+func (s *IndexScan) Open() error {
+	if s.BTree == nil && s.HashIdx == nil {
+		return fmt.Errorf("executor: IndexScan has no index")
+	}
+	s.opened = true
+	s.bscan = nil
+	s.hscan = nil
+	return nil
+}
+
+func (s *IndexScan) init() error {
+	c := s.C
+	c.Tr.Emit(probe.IdxScanInit)
+	var err error
+	if s.BTree != nil {
+		if s.HasLo {
+			s.bscan, err = s.BTree.SeekGE(c.Tr, s.Lo)
+		} else {
+			s.bscan, err = s.BTree.SeekFirst(c.Tr)
+		}
+	} else {
+		s.hscan = s.HashIdx.Lookup(c.Tr, s.EqKey)
+	}
+	c.Tr.Emit(probe.IdxScanInitCont)
+	return err
+}
+
+// Next implements Node.
+func (s *IndexScan) Next() (Tuple, bool, error) {
+	if !s.opened {
+		return nil, false, fmt.Errorf("executor: IndexScan not opened")
+	}
+	c := s.C
+	c.Tr.Emit(probe.IdxScanEnter)
+	if s.bscan == nil && s.hscan == nil {
+		if err := s.init(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		var (
+			tid  access.TID
+			key  int64
+			ok   bool
+			err  error
+			done bool
+		)
+		c.Tr.Emit(probe.IdxScanNextCall)
+		if s.bscan != nil {
+			key, tid, ok, err = s.bscan.Next(c.Tr)
+			if ok && s.HasHi && key > s.Hi {
+				ok = false
+			}
+		} else {
+			tid, ok, err = s.hscan.Next(c.Tr)
+		}
+		c.Tr.Emit(probe.IdxScanNextCont)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			done = true
+		}
+		if done {
+			c.Tr.Emit(probe.IdxScanEOF)
+			return nil, false, nil
+		}
+		c.Tr.Emit(probe.IdxScanFetch)
+		vals, err := s.Heap.Fetch(c.Tr, tid, nil)
+		c.Tr.Emit(probe.IdxScanCont)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(s.Quals) > 0 {
+			c.Tr.Emit(probe.IdxScanQualCall)
+			pass := ExecQual(c, s.Quals, Tuple(vals))
+			c.Tr.Emit(probe.IdxScanQualCont)
+			if !pass {
+				c.Tr.Emit(probe.IdxScanNext)
+				continue
+			}
+			c.Tr.Emit(probe.IdxScanEmit)
+			return Tuple(vals), true, nil
+		}
+		c.Tr.Emit(probe.IdxScanEmitDirect)
+		return Tuple(vals), true, nil
+	}
+}
+
+// Close implements Node.
+func (s *IndexScan) Close() error {
+	s.bscan = nil
+	s.hscan = nil
+	s.opened = false
+	return nil
+}
+
+// Schema implements Node.
+func (s *IndexScan) Schema() *catalog.Schema { return s.Out }
+
+// ValuesScan emits a fixed list of tuples (for tests and VALUES
+// clauses).
+type ValuesScan struct {
+	C    *Ctx
+	Out  *catalog.Schema
+	Rows []Tuple
+	pos  int
+}
+
+// Open implements Node.
+func (s *ValuesScan) Open() error { s.pos = 0; return nil }
+
+// Next implements Node.
+func (s *ValuesScan) Next() (Tuple, bool, error) {
+	c := s.C
+	c.Tr.Emit(probe.SeqScanEnter)
+	c.Tr.Emit(probe.SeqScanCall)
+	// The in-memory rows stand in for an exhausted/valued relation; the
+	// access-method callee path keeps the trace protocol intact.
+	c.Tr.Emit(probe.HeapGetNextEnter)
+	c.Tr.Emit(probe.HeapGetNextEOF)
+	c.Tr.Emit(probe.SeqScanCont)
+	if s.pos >= len(s.Rows) {
+		c.Tr.Emit(probe.SeqScanEOF)
+		return nil, false, nil
+	}
+	row := s.Rows[s.pos]
+	s.pos++
+	c.Tr.Emit(probe.SeqScanEmitDirect)
+	return row, true, nil
+}
+
+// Close implements Node.
+func (s *ValuesScan) Close() error { return nil }
+
+// Schema implements Node.
+func (s *ValuesScan) Schema() *catalog.Schema { return s.Out }
+
+// Filter applies qualifiers to a child's output (ExecResult with a
+// qual in PostgreSQL terms).
+type Filter struct {
+	C     *Ctx
+	Child Node
+	Quals []Expr
+}
+
+// Open implements Node.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next implements Node.
+func (f *Filter) Next() (Tuple, bool, error) {
+	c := f.C
+	c.Tr.Emit(probe.SeqScanEnter) // filter shares the scan skeleton
+	for {
+		tup, ok, err := c.child(probe.SeqScanCall, probe.SeqScanCont, f.Child)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.Tr.Emit(probe.SeqScanEOF)
+			return nil, false, nil
+		}
+		c.Tr.Emit(probe.SeqScanQualCall)
+		pass := ExecQual(c, f.Quals, tup)
+		c.Tr.Emit(probe.SeqScanQualCont)
+		if pass {
+			c.Tr.Emit(probe.SeqScanEmit)
+			return tup, true, nil
+		}
+		c.Tr.Emit(probe.SeqScanNext)
+		continue
+	}
+}
+
+// Close implements Node.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Schema implements Node.
+func (f *Filter) Schema() *catalog.Schema { return f.Child.Schema() }
+
+// ProjectNode computes a target list over a child's output.
+type ProjectNode struct {
+	C     *Ctx
+	Child Node
+	Exprs []Expr
+	Names []string
+	out   *catalog.Schema
+}
+
+// Open implements Node.
+func (p *ProjectNode) Open() error { return p.Child.Open() }
+
+// Next implements Node.
+func (p *ProjectNode) Next() (Tuple, bool, error) {
+	c := p.C
+	tup, ok, err := c.child(probe.ResultCall, probe.ResultCont, p.Child)
+	if err != nil || !ok {
+		c.Tr.Emit(probe.ResultEOF)
+		return nil, false, err
+	}
+	c.Tr.Emit(probe.ResultProject)
+	out := Project(c, p.Exprs, tup)
+	c.Tr.Emit(probe.ResultDone)
+	return out, true, nil
+}
+
+// Close implements Node.
+func (p *ProjectNode) Close() error { return p.Child.Close() }
+
+// Schema implements Node.
+func (p *ProjectNode) Schema() *catalog.Schema {
+	if p.out == nil {
+		cols := make([]catalog.Column, len(p.Exprs))
+		for i, e := range p.Exprs {
+			name := ""
+			if i < len(p.Names) {
+				name = p.Names[i]
+			}
+			if name == "" {
+				name = e.String()
+			}
+			cols[i] = catalog.Column{Name: name, Type: e.Type()}
+		}
+		p.out = catalog.NewSchema(cols...)
+	}
+	return p.out
+}

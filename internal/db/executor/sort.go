@@ -1,0 +1,191 @@
+package executor
+
+import (
+	"sort"
+
+	"repro/internal/db/catalog"
+	"repro/internal/db/probe"
+)
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes its child and emits tuples in key order
+// (ExecSort over psort/tuplesort).
+type Sort struct {
+	C     *Ctx
+	Child Node
+	Keys  []SortKey
+
+	rows   []Tuple
+	pos    int
+	loaded bool
+}
+
+// Open implements Node.
+func (s *Sort) Open() error {
+	s.rows = nil
+	s.pos = 0
+	s.loaded = false
+	return s.Child.Open()
+}
+
+func (s *Sort) load() error {
+	c := s.C
+	for {
+		tup, ok, err := c.child(probe.SortLoadCall, probe.SortLoadCont, s.Child)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.Tr.Emit(probe.SortLoadOK)
+		s.rows = append(s.rows, tup)
+	}
+	c.Tr.Emit(probe.SortSortCall)
+	c.Tr.Emit(probe.QsortEnter)
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		c.Tr.Emit(probe.QsortCmpCall)
+		r := tupleCompare(c, s.rows[i], s.rows[j], s.Keys)
+		c.Tr.Emit(probe.QsortCmpCont)
+		return r < 0
+	})
+	c.Tr.Emit(probe.QsortRet)
+	c.Tr.Emit(probe.SortSortCont)
+	s.loaded = true
+	return nil
+}
+
+// Next implements Node.
+func (s *Sort) Next() (Tuple, bool, error) {
+	c := s.C
+	c.Tr.Emit(probe.SortEnter)
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.pos >= len(s.rows) {
+		c.Tr.Emit(probe.SortEOF)
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	c.Tr.Emit(probe.SortEmit)
+	return row, true, nil
+}
+
+// Close implements Node.
+func (s *Sort) Close() error {
+	s.rows = nil
+	s.loaded = false
+	return s.Child.Close()
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() *catalog.Schema { return s.Child.Schema() }
+
+// Material buffers its child's output on first demand and replays it
+// on rescans (ExecMaterial) — what the paper notes Aggregate/Sort-type
+// operations do with temporary results outside the access methods.
+type Material struct {
+	C     *Ctx
+	Child Node
+
+	rows   []Tuple
+	pos    int
+	loaded bool
+}
+
+// Open implements Node. Re-opening rewinds the materialized store
+// without re-running the child.
+func (m *Material) Open() error {
+	m.pos = 0
+	if m.loaded {
+		return nil
+	}
+	return m.Child.Open()
+}
+
+// Next implements Node.
+func (m *Material) Next() (Tuple, bool, error) {
+	c := m.C
+	c.Tr.Emit(probe.MatEnter)
+	if !m.loaded {
+		for {
+			tup, ok, err := c.child(probe.MatChildCall, probe.MatChildCont, m.Child)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			c.Tr.Emit(probe.MatLoadOK)
+			m.rows = append(m.rows, tup)
+		}
+		c.Tr.Emit(probe.MatLoadDone)
+		m.loaded = true
+	}
+	if m.pos >= len(m.rows) {
+		c.Tr.Emit(probe.MatEOF)
+		return nil, false, nil
+	}
+	row := m.rows[m.pos]
+	m.pos++
+	c.Tr.Emit(probe.MatEmit)
+	return row, true, nil
+}
+
+// Close implements Node.
+func (m *Material) Close() error {
+	// Keep the store for rescans; a full close drops it.
+	return m.Child.Close()
+}
+
+// Schema implements Node.
+func (m *Material) Schema() *catalog.Schema { return m.Child.Schema() }
+
+// Limit stops after N tuples (ExecLimit).
+type Limit struct {
+	C     *Ctx
+	Child Node
+	N     int
+	seen  int
+}
+
+// Open implements Node.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.Child.Open()
+}
+
+// Next implements Node.
+func (l *Limit) Next() (Tuple, bool, error) {
+	c := l.C
+	c.Tr.Emit(probe.LimEnter)
+	if l.seen >= l.N {
+		c.Tr.Emit(probe.LimEOF)
+		return nil, false, nil
+	}
+	tup, ok, err := c.child(probe.LimChildCall, probe.LimChildCont, l.Child)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		c.Tr.Emit(probe.LimDrained)
+		return nil, false, nil
+	}
+	l.seen++
+	c.Tr.Emit(probe.LimEmit)
+	return tup, true, nil
+}
+
+// Close implements Node.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Schema implements Node.
+func (l *Limit) Schema() *catalog.Schema { return l.Child.Schema() }

@@ -1,0 +1,156 @@
+// Package sql implements the query-language front end of the kernel:
+// a lexer and recursive-descent parser for the SELECT subset TPC-D
+// needs (joins, conjunctive predicates, LIKE/IN/BETWEEN, aggregates,
+// GROUP BY, ORDER BY, LIMIT), and a heuristic planner that chooses
+// scans (sequential, B-tree range, hash equality), join order and join
+// algorithms (index nested loop, hash join, merge join) — the
+// Parsing-Optimization kernel of the paper's Figure 1.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp // < <= = <> > >= + - * / ( ) , .
+	tkKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords and identifiers lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"by": true, "order": true, "limit": true, "and": true, "or": true,
+	"not": true, "like": true, "in": true, "between": true, "as": true,
+	"asc": true, "desc": true, "count": true, "sum": true, "avg": true,
+	"min": true, "max": true, "distinct": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isAlpha(c):
+			l.ident()
+		case isDigit(c):
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.op(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+		l.pos++
+	}
+	text := strings.ToLower(l.src[start:l.pos])
+	kind := tkIdent
+	if keywords[text] {
+		kind = tkKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) op() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tkOp, text: text, pos: start})
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '<', '>', '=', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tkOp, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}

@@ -1,0 +1,483 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AST node for scalar expressions.
+type node interface{ String() string }
+
+type colRef struct{ name string }
+type intLit struct{ v int64 }
+type floatLit struct{ v float64 }
+type strLit struct{ v string }
+type binExpr struct {
+	op   string // = <> < <= > >= + - * /
+	l, r node
+}
+type andExpr struct{ args []node }
+type orExpr struct{ args []node }
+type notExpr struct{ arg node }
+type likeExpr struct {
+	arg     node
+	pattern string
+	negate  bool
+}
+type inExpr struct {
+	arg  node
+	list []node
+}
+
+func (c *colRef) String() string   { return c.name }
+func (i *intLit) String() string   { return strconv.FormatInt(i.v, 10) }
+func (f *floatLit) String() string { return strconv.FormatFloat(f.v, 'g', -1, 64) }
+func (s *strLit) String() string   { return "'" + s.v + "'" }
+func (b *binExpr) String() string  { return "(" + b.l.String() + b.op + b.r.String() + ")" }
+func (a *andExpr) String() string {
+	parts := make([]string, len(a.args))
+	for i, x := range a.args {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, " and ") + ")"
+}
+func (o *orExpr) String() string {
+	parts := make([]string, len(o.args))
+	for i, x := range o.args {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, " or ") + ")"
+}
+func (n *notExpr) String() string { return "not " + n.arg.String() }
+func (l *likeExpr) String() string {
+	op := " like "
+	if l.negate {
+		op = " not like "
+	}
+	return l.arg.String() + op + "'" + l.pattern + "'"
+}
+func (e *inExpr) String() string { return e.arg.String() + " in (...)" }
+
+// SelectItem is one target-list entry.
+type SelectItem struct {
+	Agg   string // "" or count/sum/avg/min/max
+	Star  bool   // count(*)
+	Expr  node
+	Alias string
+}
+
+// OrderItem is one ORDER BY entry (output column name or alias).
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt is a parsed query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []string
+	Where   node // nil if absent
+	GroupBy []string
+	OrderBy []OrderItem
+	Limit   int // -1 if absent
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().text == ";" {
+		p.pos++
+	}
+	if p.cur().kind != tkEOF {
+		return nil, fmt.Errorf("sql: trailing input at %d", p.cur().pos)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tkKeyword || t.text != kw {
+		return fmt.Errorf("sql: expected %q at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tkKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().kind == tkOp && p.cur().text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.next()
+	if t.kind != tkOp || t.text != op {
+		return fmt.Errorf("sql: expected %q at %d, got %q", op, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tkIdent {
+			return nil, fmt.Errorf("sql: expected table name at %d", t.pos)
+		}
+		st.From = append(st.From, t.text)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tkIdent {
+				return nil, fmt.Errorf("sql: expected column in GROUP BY at %d", t.pos)
+			}
+			st.GroupBy = append(st.GroupBy, t.text)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tkIdent && t.kind != tkKeyword {
+				return nil, fmt.Errorf("sql: expected column in ORDER BY at %d", t.pos)
+			}
+			item := OrderItem{Col: t.text}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.next()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT at %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+var aggNames = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	var item SelectItem
+	t := p.cur()
+	if t.kind == tkKeyword && aggNames[t.text] {
+		p.pos++
+		item.Agg = t.text
+		if err := p.expectOp("("); err != nil {
+			return item, err
+		}
+		if p.acceptOp("*") {
+			if item.Agg != "count" {
+				return item, fmt.Errorf("sql: %s(*) not allowed", item.Agg)
+			}
+			item.Star = true
+		} else {
+			p.acceptKeyword("distinct") // parsed and ignored (TPC-D Q2 variants)
+			e, err := p.addExpr()
+			if err != nil {
+				return item, err
+			}
+			item.Expr = e
+		}
+		if err := p.expectOp(")"); err != nil {
+			return item, err
+		}
+	} else {
+		e, err := p.addExpr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.acceptKeyword("as") {
+		t := p.next()
+		if t.kind != tkIdent {
+			return item, fmt.Errorf("sql: expected alias at %d", t.pos)
+		}
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+// Expression grammar: or > and > not > comparison > additive > mult > primary.
+func (p *parser) orExpr() (node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	args := []node{l}
+	for p.acceptKeyword("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	if len(args) == 1 {
+		return l, nil
+	}
+	return &orExpr{args: args}, nil
+}
+
+func (p *parser) andExpr() (node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	args := []node{l}
+	for p.acceptKeyword("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	if len(args) == 1 {
+		return l, nil
+	}
+	return &andExpr{args: args}, nil
+}
+
+func (p *parser) notExpr() (node, error) {
+	if p.acceptKeyword("not") {
+		a, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{arg: a}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// LIKE / NOT LIKE / IN / BETWEEN.
+	negate := false
+	if p.cur().kind == tkKeyword && p.cur().text == "not" {
+		// lookahead for "not like" / "not in"
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tkKeyword &&
+			(p.toks[p.pos+1].text == "like" || p.toks[p.pos+1].text == "in") {
+			p.pos++
+			negate = true
+		}
+	}
+	if p.acceptKeyword("like") {
+		t := p.next()
+		if t.kind != tkString {
+			return nil, fmt.Errorf("sql: LIKE needs a string pattern at %d", t.pos)
+		}
+		return &likeExpr{arg: l, pattern: t.text, negate: negate}, nil
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []node
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		var e node = &inExpr{arg: l, list: list}
+		if negate {
+			e = &notExpr{arg: e}
+		}
+		return e, nil
+	}
+	if p.acceptKeyword("between") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &andExpr{args: []node{
+			&binExpr{op: ">=", l: l, r: lo},
+			&binExpr{op: "<=", l: l, r: hi},
+		}}, nil
+	}
+	switch p.cur().text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := p.next().text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{op: op, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "+", "-":
+			op := p.next().text
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (node, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "*", "/":
+			op := p.next().text
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) primary() (node, error) {
+	t := p.next()
+	switch {
+	case t.kind == tkNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &floatLit{v: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &intLit{v: n}, nil
+	case t.kind == tkString:
+		return &strLit{v: t.text}, nil
+	case t.kind == tkIdent:
+		return &colRef{name: t.text}, nil
+	case t.kind == tkOp && t.text == "(":
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tkOp && t.text == "-":
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		switch v := e.(type) {
+		case *intLit:
+			return &intLit{v: -v.v}, nil
+		case *floatLit:
+			return &floatLit{v: -v.v}, nil
+		}
+		return &binExpr{op: "-", l: &intLit{v: 0}, r: e}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at %d", t.text, t.pos)
+}

@@ -1,0 +1,103 @@
+// Package storage implements the storage manager of the database
+// kernel (the lowest module in the paper's Figure 1): fixed-size
+// slotted pages, tuple serialization, and page files. Files live in
+// memory — the substitution for the paper's Digital Unix filesystem —
+// but are only reachable through page reads and writes issued by the
+// buffer manager, preserving the access-path structure of the kernel.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBytes is the page size (PostgreSQL's 8 KB).
+const PageBytes = 8192
+
+// Page header layout: nslots(2) | freeStart(2) | freeEnd(2).
+const (
+	offNSlots    = 0
+	offFreeStart = 2
+	offFreeEnd   = 4
+	headerBytes  = 6
+	slotBytes    = 4 // offset(2) | length(2)
+)
+
+// Page is one slotted page: slot directory grows from the front, tuple
+// data from the back.
+type Page []byte
+
+// NewPage returns an initialized empty page.
+func NewPage() Page {
+	p := make(Page, PageBytes)
+	p.Init()
+	return p
+}
+
+// Init formats p as an empty slotted page.
+func (p Page) Init() {
+	putU16(p, offNSlots, 0)
+	putU16(p, offFreeStart, headerBytes)
+	putU16(p, offFreeEnd, PageBytes)
+}
+
+// NumSlots returns the number of slots on the page.
+func (p Page) NumSlots() int { return int(getU16(p, offNSlots)) }
+
+// FreeSpace returns the bytes available for one more tuple (including
+// its slot entry).
+func (p Page) FreeSpace() int {
+	free := int(getU16(p, offFreeEnd)) - int(getU16(p, offFreeStart))
+	free -= slotBytes
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// AddTuple appends a tuple, returning its slot number, or false if the
+// page is full.
+func (p Page) AddTuple(data []byte) (int, bool) {
+	if len(data) > p.FreeSpace() {
+		return 0, false
+	}
+	n := p.NumSlots()
+	end := getU16(p, offFreeEnd) - uint16(len(data))
+	copy(p[end:], data)
+	slotOff := headerBytes + n*slotBytes
+	putU16(p, slotOff, end)
+	putU16(p, slotOff+2, uint16(len(data)))
+	putU16(p, offNSlots, uint16(n+1))
+	putU16(p, offFreeStart, uint16(slotOff+slotBytes))
+	putU16(p, offFreeEnd, end)
+	return n, true
+}
+
+// Tuple returns the raw bytes of slot i (aliasing the page buffer).
+func (p Page) Tuple(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.NumSlots())
+	}
+	slotOff := headerBytes + i*slotBytes
+	off := getU16(p, slotOff)
+	ln := getU16(p, slotOff+2)
+	return p[off : off+ln], nil
+}
+
+func putU16(b []byte, off int, v uint16) { binary.LittleEndian.PutUint16(b[off:], v) }
+func getU16(b []byte, off int) uint16    { return binary.LittleEndian.Uint16(b[off:]) }
+
+// TID identifies a stored tuple: (page, slot) within a heap file —
+// the item pointer the access methods hand to the executor.
+type TID struct {
+	Page uint32
+	Slot uint16
+}
+
+// Less orders TIDs in physical order.
+func (t TID) Less(o TID) bool {
+	if t.Page != o.Page {
+		return t.Page < o.Page
+	}
+	return t.Slot < o.Slot
+}

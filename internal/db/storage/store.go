@@ -1,0 +1,67 @@
+package storage
+
+import "fmt"
+
+// Store is the storage manager: a set of page files addressed by file
+// ID. Pages are copied in and out (as a disk would), so the only way
+// to mutate stored data is an explicit WritePage — the buffer manager
+// above is the sole client, mirroring the kernel structure in the
+// paper's Figure 1.
+type Store struct {
+	files [][]Page
+	reads uint64
+}
+
+// NewStore returns a store with n pre-created empty files.
+func NewStore(n int) *Store {
+	return &Store{files: make([][]Page, n)}
+}
+
+// EnsureFiles grows the store to at least n files.
+func (s *Store) EnsureFiles(n int) {
+	for len(s.files) < n {
+		s.files = append(s.files, nil)
+	}
+}
+
+// NumFiles returns the number of files.
+func (s *Store) NumFiles() int { return len(s.files) }
+
+// NumPages returns the length of a file in pages.
+func (s *Store) NumPages(file int) int {
+	if file < 0 || file >= len(s.files) {
+		return 0
+	}
+	return len(s.files[file])
+}
+
+// AllocPage appends an empty page to the file and returns its number.
+func (s *Store) AllocPage(file int) (int, error) {
+	if file < 0 || file >= len(s.files) {
+		return 0, fmt.Errorf("storage: no file %d", file)
+	}
+	s.files[file] = append(s.files[file], NewPage())
+	return len(s.files[file]) - 1, nil
+}
+
+// ReadPage copies page contents into dst (len PageBytes).
+func (s *Store) ReadPage(file, page int, dst Page) error {
+	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
+		return fmt.Errorf("storage: read beyond file %d page %d", file, page)
+	}
+	copy(dst, s.files[file][page])
+	s.reads++
+	return nil
+}
+
+// WritePage copies src into the stored page.
+func (s *Store) WritePage(file, page int, src Page) error {
+	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
+		return fmt.Errorf("storage: write beyond file %d page %d", file, page)
+	}
+	copy(s.files[file][page], src)
+	return nil
+}
+
+// Reads returns the number of page reads served (I/O statistic).
+func (s *Store) Reads() uint64 { return s.reads }

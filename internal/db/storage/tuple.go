@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/db/value"
+)
+
+// EncodeTuple serializes a row into buf (reused if large enough) and
+// returns the encoded bytes. Format per value: 1 type byte, then a
+// fixed 8-byte payload for Int/Date/Float, 1 byte for Bool, a 2-byte
+// length prefix plus bytes for Str, nothing for Null.
+func EncodeTuple(vals []value.Value, buf []byte) []byte {
+	buf = buf[:0]
+	for _, v := range vals {
+		buf = append(buf, byte(v.T))
+		switch v.T {
+		case value.Int, value.Date:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+			buf = append(buf, tmp[:]...)
+		case value.Float:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+			buf = append(buf, tmp[:]...)
+		case value.Str:
+			var tmp [2]byte
+			binary.LittleEndian.PutUint16(tmp[:], uint16(len(v.S)))
+			buf = append(buf, tmp[:]...)
+			buf = append(buf, v.S...)
+		case value.Bool:
+			b := byte(0)
+			if v.I != 0 {
+				b = 1
+			}
+			buf = append(buf, b)
+		case value.Null:
+			// type byte only
+		}
+	}
+	return buf
+}
+
+// DecodeTuple deserializes a row into dst (which must have the arity
+// of the encoded tuple) and returns it.
+func DecodeTuple(data []byte, dst []value.Value) ([]value.Value, error) {
+	dst = dst[:0]
+	i := 0
+	for i < len(data) {
+		t := value.Type(data[i])
+		i++
+		switch t {
+		case value.Int, value.Date:
+			if i+8 > len(data) {
+				return nil, fmt.Errorf("storage: truncated tuple")
+			}
+			v := int64(binary.LittleEndian.Uint64(data[i:]))
+			i += 8
+			dst = append(dst, value.Value{T: t, I: v})
+		case value.Float:
+			if i+8 > len(data) {
+				return nil, fmt.Errorf("storage: truncated tuple")
+			}
+			f := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+			i += 8
+			dst = append(dst, value.NewFloat(f))
+		case value.Str:
+			if i+2 > len(data) {
+				return nil, fmt.Errorf("storage: truncated tuple")
+			}
+			n := int(binary.LittleEndian.Uint16(data[i:]))
+			i += 2
+			if i+n > len(data) {
+				return nil, fmt.Errorf("storage: truncated tuple")
+			}
+			dst = append(dst, value.NewStr(string(data[i:i+n])))
+			i += n
+		case value.Bool:
+			if i+1 > len(data) {
+				return nil, fmt.Errorf("storage: truncated tuple")
+			}
+			dst = append(dst, value.NewBool(data[i] != 0))
+			i++
+		case value.Null:
+			dst = append(dst, value.NewNull())
+		default:
+			return nil, fmt.Errorf("storage: bad type byte %d", t)
+		}
+	}
+	return dst, nil
+}

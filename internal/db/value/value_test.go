@@ -1,0 +1,166 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareInts(t *testing.T) {
+	if Compare(NewInt(1), NewInt(2)) != -1 ||
+		Compare(NewInt(2), NewInt(1)) != 1 ||
+		Compare(NewInt(7), NewInt(7)) != 0 {
+		t.Fatal("int compare broken")
+	}
+}
+
+func TestCompareMixedIntFloat(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Fatal("int vs float coercion broken")
+	}
+	if Compare(NewFloat(3.0), NewInt(3)) != 0 {
+		t.Fatal("equal int/float should compare 0")
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	if Compare(NewStr("abc"), NewStr("abd")) != -1 {
+		t.Fatal("string compare broken")
+	}
+	if Compare(NewStr("b"), NewStr("a")) != 1 {
+		t.Fatal("string compare broken")
+	}
+}
+
+func TestNullSortsFirst(t *testing.T) {
+	if Compare(NewNull(), NewInt(-1<<62)) != -1 {
+		t.Fatal("NULL must sort before any value")
+	}
+	if Compare(NewInt(0), NewNull()) != 1 {
+		t.Fatal("value must sort after NULL")
+	}
+	if Compare(NewNull(), NewNull()) != 0 {
+		t.Fatal("NULL == NULL for sorting")
+	}
+	if Equal(NewNull(), NewNull()) {
+		t.Fatal("NULL must not be Equal to NULL")
+	}
+}
+
+func TestBoolAndString(t *testing.T) {
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Fatal("bool payload broken")
+	}
+	cases := map[string]Value{
+		"42":         NewInt(42),
+		"3.50":       NewFloat(3.5),
+		"hello":      NewStr("hello"),
+		"t":          NewBool(true),
+		"f":          NewBool(false),
+		"NULL":       NewNull(),
+		"1992-03-02": NewDate(MakeDate(1992, 3, 2)),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.T, got, want)
+		}
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	f := func(x int64) bool {
+		return Hash(NewInt(x)) == Hash(NewInt(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Hash(NewStr("foo")) == Hash(NewStr("bar")) {
+		t.Fatal("suspicious string hash collision")
+	}
+	if Hash(NewInt(1)) == Hash(NewInt(2)) {
+		t.Fatal("suspicious int hash collision")
+	}
+}
+
+func TestHashDistinguishesTypes(t *testing.T) {
+	if Hash(NewInt(0)) == Hash(NewDate(0)) {
+		t.Fatal("hash should mix the type tag")
+	}
+}
+
+func TestMakeDateKnownValues(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		want    int64
+	}{
+		{1970, 1, 1, 0},
+		{1970, 1, 2, 1},
+		{1970, 2, 1, 31},
+		{1971, 1, 1, 365},
+		{1972, 3, 1, 365 + 365 + 31 + 29}, // 1972 is a leap year
+		{1969, 12, 31, -1},
+		{1992, 1, 1, 8035},
+	}
+	for _, c := range cases {
+		if got := MakeDate(c.y, c.m, c.d); got != c.want {
+			t.Errorf("MakeDate(%d,%d,%d) = %d, want %d", c.y, c.m, c.d, got, c.want)
+		}
+	}
+}
+
+// Property: FormatDate(MakeDate(y,m,d)) round-trips for the TPC-D date
+// range (1992..1998).
+func TestDateRoundTrip(t *testing.T) {
+	for y := 1992; y <= 1998; y++ {
+		for m := 1; m <= 12; m++ {
+			dmax := daysPerMonth[m-1]
+			if m == 2 && isLeap(y) {
+				dmax++
+			}
+			for d := 1; d <= dmax; d++ {
+				days := MakeDate(y, m, d)
+				s := FormatDate(days)
+				back, err := ParseDate(s)
+				if err != nil {
+					t.Fatalf("ParseDate(%q): %v", s, err)
+				}
+				if back != days {
+					t.Fatalf("round trip %04d-%02d-%02d: %d -> %q -> %d", y, m, d, days, s, back)
+				}
+			}
+		}
+	}
+}
+
+// Property: dates order like their calendar tuple.
+func TestDateMonotone(t *testing.T) {
+	prev := MakeDate(1991, 12, 31)
+	for y := 1992; y <= 1994; y++ {
+		for m := 1; m <= 12; m++ {
+			cur := MakeDate(y, m, 15)
+			if cur <= prev {
+				t.Fatalf("dates must be monotone: %d-%d", y, m)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, s := range []string{"", "1992/01/01", "92-01-01", "1992-13-01", "1992-00-10", "1992-01-32", "abcd-ef-gh"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) should fail", s)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		Int: "integer", Float: "float", Str: "varchar",
+		Date: "date", Bool: "boolean", Null: "null",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q", ty, ty.String())
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny builds the smallest useful setup once for all tests here.
+var tinySetup *Setup
+
+func tiny(t *testing.T) *Setup {
+	t.Helper()
+	if tinySetup == nil {
+		s, err := NewSetup(Params{SF: 0.0005, Seed: 7, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tinySetup = s
+	}
+	return tinySetup
+}
+
+func TestSetupProducesTraces(t *testing.T) {
+	s := tiny(t)
+	if s.TrainTrace.Len() == 0 || s.TestTrace.Len() == 0 {
+		t.Fatal("empty traces")
+	}
+	if len(s.TrainTrace.Marks) != 5 {
+		t.Fatalf("training marks = %d, want 5 queries", len(s.TrainTrace.Marks))
+	}
+	if len(s.TestTrace.Marks) != 20 {
+		t.Fatalf("test marks = %d, want 10 queries x 2 databases", len(s.TestTrace.Marks))
+	}
+}
+
+func TestTable1InPaperBallpark(t *testing.T) {
+	s := tiny(t)
+	fs := s.Table1()
+	if fs.PctProcs() < 5 || fs.PctProcs() > 40 {
+		t.Fatalf("%%procs = %v, outside plausible band", fs.PctProcs())
+	}
+	if fs.PctInstrs() < 3 || fs.PctInstrs() > 30 {
+		t.Fatalf("%%instrs = %v", fs.PctInstrs())
+	}
+}
+
+func TestFigure2Monotone(t *testing.T) {
+	s := tiny(t)
+	pts := s.Figure2()
+	if len(pts) < 5 {
+		t.Fatal("too few curve points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CumRefs < pts[i-1].CumRefs {
+			t.Fatal("curve not monotone")
+		}
+	}
+}
+
+func TestLayoutsAllValid(t *testing.T) {
+	s := tiny(t)
+	cc := CacheConfig{CacheBytes: 2048, CFABytes: 512}
+	for name, l := range s.Layouts(cc) {
+		if err := l.Validate(s.Img.Prog); err != nil {
+			t.Errorf("layout %s: %v", name, err)
+		}
+	}
+}
+
+func TestSequentialityOrdering(t *testing.T) {
+	s := tiny(t)
+	m := s.Sequentiality()
+	// The paper's central claim: STC layouts beat the original layout
+	// on instructions between taken branches.
+	if m["ops"] <= m["orig"] {
+		t.Fatalf("ops (%v) must beat orig (%v)", m["ops"], m["orig"])
+	}
+	if m["auto"] <= m["orig"] {
+		t.Fatalf("auto (%v) must beat orig (%v)", m["auto"], m["orig"])
+	}
+}
+
+func TestFormattersProduceTables(t *testing.T) {
+	s := tiny(t)
+	if !strings.Contains(FormatTable1(s.Table1()), "Procedures") {
+		t.Fatal("Table 1 format")
+	}
+	if !strings.Contains(FormatTable2(s.Table2()), "Fall-through") {
+		t.Fatal("Table 2 format")
+	}
+	if !strings.Contains(s.FormatFigure2(), "90%") {
+		t.Fatal("Figure 2 format")
+	}
+	if !strings.Contains(FormatReuse(s.Reuse()), "250") {
+		t.Fatal("reuse format")
+	}
+	if !strings.Contains(FormatSequentiality(s.Sequentiality()), "taken branches") {
+		t.Fatal("sequentiality format")
+	}
+}
+
+func TestTable3ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s := tiny(t)
+	rows := s.Table3()
+	if len(rows) != len(PaperConfigs()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Miss rates must not increase with cache size for a fixed layout
+	// (compare the first rows of the 1K and 8K groups, orig layout).
+	var small, large float64
+	for _, r := range rows {
+		if r.Config.CacheBytes == 1024 && r.Config.CFABytes == 256 {
+			small = r.Miss["orig"]
+		}
+		if r.Config.CacheBytes == 8192 && r.Config.CFABytes == 1024 {
+			large = r.Miss["orig"]
+		}
+	}
+	if large > small {
+		t.Fatalf("orig misses grew with cache size: %v -> %v", small, large)
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "victim") {
+		t.Fatal("Table 3 format")
+	}
+}
+
+func TestTable4TraceCacheSynergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s := tiny(t)
+	ideal, rows := s.Table4()
+	// The paper's conclusion: TC+STC beats TC alone.
+	if ideal.TCOps <= ideal.TC {
+		t.Fatalf("ideal TC+ops (%v) must beat TC (%v)", ideal.TCOps, ideal.TC)
+	}
+	if len(rows) != len(PaperConfigs()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	out := FormatTable4(ideal, rows)
+	if !strings.Contains(out, "Ideal") {
+		t.Fatal("Table 4 format")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s := tiny(t)
+	pts := s.AblationThresholds(CacheConfig{CacheBytes: 2048, CFABytes: 512})
+	if len(pts) != 9 {
+		t.Fatalf("got %d ablation points", len(pts))
+	}
+	for _, p := range pts {
+		if p.IPC <= 0 {
+			t.Fatalf("non-positive IPC in ablation: %+v", p)
+		}
+	}
+}

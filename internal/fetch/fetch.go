@@ -1,0 +1,334 @@
+// Package fetch simulates the instruction-fetch front end used in the
+// paper's evaluation (Section 7): the SEQ.3 sequential fetch unit of
+// Rotenberg et al. — which delivers, per cycle, the instructions from
+// the fetch address up to the first taken branch, up to three
+// branches, up to 16 instructions, from at most two consecutive cache
+// lines — with perfect branch prediction, a fixed i-cache miss penalty,
+// and an optional trace cache in front.
+//
+// The simulator consumes a dynamic basic-block trace (package trace)
+// and a code layout (package program): the same trace replayed under
+// different layouts yields the paper's per-layout miss rates (Table 3)
+// and fetch bandwidths (Table 4).
+package fetch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Width is the maximum instructions delivered per fetch (16).
+	Width int
+	// MaxBranches is the per-fetch branch limit (3). All branch kinds
+	// count: conditional, unconditional, calls and returns.
+	MaxBranches int
+	// MaxLines is the number of consecutive cache lines a fetch may
+	// span (2).
+	MaxLines int
+	// MissPenalty is the extra cycles charged per missing line (5).
+	MissPenalty uint64
+	// ICache is the instruction cache; nil simulates a perfect cache
+	// (the paper's "Ideal" rows).
+	ICache cache.ICache
+	// TC is an optional trace cache consulted before the i-cache; a
+	// trace-cache hit delivers its whole trace in one cycle with no
+	// miss penalty.
+	TC *cache.TraceCache
+	// LineBytes is the cache line size; defaulted from ICache, or 64.
+	LineBytes int
+}
+
+// DefaultConfig returns the paper's SEQ.3 setup over the given cache.
+func DefaultConfig(ic cache.ICache) Config {
+	return Config{
+		Width:       16,
+		MaxBranches: 3,
+		MaxLines:    2,
+		MissPenalty: 5,
+		ICache:      ic,
+	}
+}
+
+func (c *Config) lineBytes() uint64 {
+	if c.LineBytes > 0 {
+		return uint64(c.LineBytes)
+	}
+	if c.ICache != nil {
+		return uint64(c.ICache.LineBytes())
+	}
+	return cache.DefaultLineBytes
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Instrs       uint64 // dynamic instructions delivered
+	Fetches      uint64 // fetch requests (cycles without penalties)
+	Cycles       uint64 // total cycles including miss penalties
+	LineAccesses uint64 // i-cache line accesses
+	LineMisses   uint64 // i-cache line misses
+	TCHits       uint64 // trace-cache hits
+	TCMisses     uint64 // trace-cache misses
+	TCInstrs     uint64 // instructions delivered by the trace cache
+}
+
+// IPC is the fetch bandwidth in instructions per cycle (Table 4).
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// IdealIPC is the bandwidth assuming every access hits (instructions
+// per fetch request).
+func (r Result) IdealIPC() float64 {
+	if r.Fetches == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Fetches)
+}
+
+// MissesPer100Instr is the paper's Table 3 metric: i-cache misses per
+// instruction executed, in percent.
+func (r Result) MissesPer100Instr() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return 100 * float64(r.LineMisses) / float64(r.Instrs)
+}
+
+// stream walks a dynamic trace as a sequence of instruction addresses
+// under a given layout.
+type stream struct {
+	blocks []program.BlockID
+	addr   []uint64 // per-block start address (layout)
+	size   []int32  // per-block instruction count
+	kind   []program.BlockKind
+	idx    int   // current block index within blocks
+	off    int32 // instruction offset within current block
+}
+
+func newStream(t *trace.Trace, l *program.Layout) *stream {
+	p := t.Program()
+	n := p.NumBlocks()
+	s := &stream{
+		blocks: t.Blocks,
+		addr:   l.Addr,
+		size:   make([]int32, n),
+		kind:   make([]program.BlockKind, n),
+	}
+	for i := 0; i < n; i++ {
+		b := p.Block(program.BlockID(i))
+		s.size[i] = int32(b.Size)
+		s.kind[i] = b.Kind
+	}
+	return s
+}
+
+// done reports whether the stream is exhausted.
+func (s *stream) done() bool { return s.idx >= len(s.blocks) }
+
+// cur returns the address of the current instruction.
+func (s *stream) cur() uint64 {
+	b := s.blocks[s.idx]
+	return s.addr[b] + uint64(s.off)*program.InstrBytes
+}
+
+// peek returns the address of the k-th upcoming instruction (k=0 is
+// the current one) and whether it exists.
+func (s *stream) peek(k int) (uint64, bool) {
+	idx, off := s.idx, s.off
+	for idx < len(s.blocks) {
+		b := s.blocks[idx]
+		remain := int(s.size[b] - off)
+		if k < remain {
+			return s.addr[b] + uint64(off+int32(k))*program.InstrBytes, true
+		}
+		k -= remain
+		idx++
+		off = 0
+	}
+	return 0, false
+}
+
+// advance moves the stream forward n instructions.
+func (s *stream) advance(n int) {
+	for n > 0 && s.idx < len(s.blocks) {
+		b := s.blocks[s.idx]
+		remain := int(s.size[b] - s.off)
+		if n < remain {
+			s.off += int32(n)
+			return
+		}
+		n -= remain
+		s.idx++
+		s.off = 0
+	}
+}
+
+// Simulate runs the fetch engine over the whole trace under the given
+// layout and configuration.
+func Simulate(t *trace.Trace, l *program.Layout, cfg Config) Result {
+	var r Result
+	s := newStream(t, l)
+	lineBytes := cfg.lineBytes()
+	if cfg.ICache != nil {
+		cfg.ICache.Reset()
+	}
+	if cfg.TC != nil {
+		cfg.TC.Reset()
+	}
+	var tcFill []uint64
+	for !s.done() {
+		fetchAddr := s.cur()
+		// Trace cache first: a hit delivers the stored trace in one
+		// cycle, bypassing the i-cache.
+		if cfg.TC != nil {
+			if n, hit := cfg.TC.Lookup(fetchAddr, s.peek); hit {
+				s.advance(n)
+				r.Instrs += uint64(n)
+				r.TCInstrs += uint64(n)
+				r.TCHits++
+				r.Fetches++
+				r.Cycles++
+				continue
+			}
+			r.TCMisses++
+			// Fill the trace cache from the actual dynamic stream:
+			// up to MaxInstrs instructions / MaxBranches branches.
+			tcFill = buildTCFill(s, cfg.TC, tcFill[:0])
+		}
+		// SEQ.3 i-cache fetch.
+		n, lastAddr := s.seq3(cfg, lineBytes)
+		r.Instrs += uint64(n)
+		r.Fetches++
+		r.Cycles++
+		if cfg.ICache != nil {
+			misses := uint64(0)
+			r.LineAccesses++
+			if !cfg.ICache.Access(fetchAddr) {
+				misses++
+			}
+			if lastAddr/lineBytes != fetchAddr/lineBytes {
+				r.LineAccesses++
+				if !cfg.ICache.Access(lastAddr) {
+					misses++
+				}
+			}
+			r.LineMisses += misses
+			r.Cycles += misses * cfg.MissPenalty
+		}
+		if cfg.TC != nil {
+			cfg.TC.Fill(fetchAddr, tcFill)
+		}
+	}
+	return r
+}
+
+// seq3 performs one SEQ.3 fetch from the current stream position,
+// advancing the stream. It returns the number of instructions
+// delivered and the address of the last one.
+func (s *stream) seq3(cfg Config, lineBytes uint64) (int, uint64) {
+	fetchAddr := s.cur()
+	limit := (fetchAddr/lineBytes + uint64(cfg.MaxLines)) * lineBytes
+	n := 0
+	branches := 0
+	lastAddr := fetchAddr
+	for !s.done() && n < cfg.Width {
+		b := s.blocks[s.idx]
+		a := s.addr[b] + uint64(s.off)*program.InstrBytes
+		if a >= limit {
+			break // would leave the two consecutive lines
+		}
+		n++
+		lastAddr = a
+		if int32(s.off) == s.size[b]-1 {
+			// Block terminator: classify the transition.
+			isBranch := s.kind[b] != program.KindFallThrough
+			s.idx++
+			s.off = 0
+			if isBranch {
+				branches++
+			}
+			if s.done() {
+				break
+			}
+			next := s.blocks[s.idx]
+			taken := s.addr[next] != a+program.InstrBytes
+			if taken {
+				break // fetch stops at the first taken control transfer
+			}
+			if branches >= cfg.MaxBranches {
+				break
+			}
+		} else {
+			s.off++
+		}
+	}
+	return n, lastAddr
+}
+
+// buildTCFill collects the instruction addresses of the trace-cache
+// line starting at the current stream position: up to MaxInstrs
+// instructions and MaxBranches branch instructions, following the
+// actual dynamic path (taken branches included — that is the point of
+// a trace cache).
+func buildTCFill(s *stream, tc *cache.TraceCache, buf []uint64) []uint64 {
+	idx, off := s.idx, s.off
+	branches := 0
+	for len(buf) < tc.MaxInstrs() && idx < len(s.blocks) {
+		b := s.blocks[idx]
+		buf = append(buf, s.addr[b]+uint64(off)*program.InstrBytes)
+		if int32(off) == s.size[b]-1 {
+			if s.kind[b] != program.KindFallThrough {
+				branches++
+				if branches >= tc.MaxBranches() {
+					break
+				}
+			}
+			idx++
+			off = 0
+		} else {
+			off++
+		}
+	}
+	return buf
+}
+
+// SequentialityStats summarizes how sequential a layout renders the
+// dynamic instruction stream: the number of taken control transfers
+// (address discontinuities) and the paper's headline metric,
+// instructions executed between taken branches (8.9 for the original
+// PostgreSQL layout, 22.4 after STC reordering).
+type SequentialityStats struct {
+	Instrs        uint64
+	Taken         uint64
+	Transitions   uint64
+	InstrPerTaken float64
+}
+
+// Sequentiality computes SequentialityStats for a trace under a layout.
+func Sequentiality(t *trace.Trace, l *program.Layout) SequentialityStats {
+	var st SequentialityStats
+	p := t.Program()
+	for i, b := range t.Blocks {
+		blk := p.Block(b)
+		st.Instrs += uint64(blk.Size)
+		if i+1 < len(t.Blocks) {
+			st.Transitions++
+			endAddr := l.Addr[b] + blk.SizeBytes()
+			if l.Addr[t.Blocks[i+1]] != endAddr {
+				st.Taken++
+			}
+		}
+	}
+	if st.Taken > 0 {
+		st.InstrPerTaken = float64(st.Instrs) / float64(st.Taken)
+	} else {
+		st.InstrPerTaken = float64(st.Instrs)
+	}
+	return st
+}

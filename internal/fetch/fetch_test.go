@@ -1,0 +1,363 @@
+package fetch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// straightProgram is a single procedure with one 40-instruction block
+// ending in a return.
+func straightProgram(t *testing.T) (*program.Program, *trace.Trace) {
+	t.Helper()
+	b := program.NewBuilder()
+	b.Proc("f", "m").Ret("entry", 40)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(p)
+	r := trace.NewRecorder(tr, true)
+	r.Block(p.MustBlock("f.entry"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+func TestSeq3WidthLimit(t *testing.T) {
+	p, tr := straightProgram(t)
+	l := program.OriginalLayout(p)
+	res := Simulate(tr, l, DefaultConfig(nil))
+	// 40 instructions, 16-wide: 16+16+8 = 3 fetches.
+	if res.Instrs != 40 {
+		t.Fatalf("instrs = %d, want 40", res.Instrs)
+	}
+	if res.Fetches != 3 {
+		t.Fatalf("fetches = %d, want 3", res.Fetches)
+	}
+	if res.Cycles != 3 {
+		t.Fatalf("cycles = %d, want 3 (ideal cache)", res.Cycles)
+	}
+	if got := res.IPC(); math.Abs(got-40.0/3) > 1e-9 {
+		t.Fatalf("IPC = %v", got)
+	}
+}
+
+// takenProgram builds: a (cond, taken to c) | b (never runs) | c (ret),
+// with c laid out away from a.
+func takenProgram(t *testing.T) (*program.Program, *trace.Trace) {
+	t.Helper()
+	b := program.NewBuilder()
+	f := b.Proc("f", "m")
+	f.Cond("a", 4, "c")
+	f.Jump("b", 20, "c")
+	f.Ret("c", 4)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(p)
+	r := trace.NewRecorder(tr, true)
+	r.Block(p.MustBlock("f.a"))
+	r.Block(p.MustBlock("f.c"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+func TestSeq3StopsAtTakenBranch(t *testing.T) {
+	p, tr := takenProgram(t)
+	l := program.OriginalLayout(p)
+	res := Simulate(tr, l, DefaultConfig(nil))
+	// Fetch 1: block a (4 instrs), stops at the taken branch.
+	// Fetch 2: block c (4 instrs).
+	if res.Fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", res.Fetches)
+	}
+	if res.Instrs != 8 {
+		t.Fatalf("instrs = %d, want 8", res.Instrs)
+	}
+}
+
+func TestSeq3MergesAdjacentBlocks(t *testing.T) {
+	p, tr := takenProgram(t)
+	// Layout placing c directly after a: the branch becomes
+	// effectively not-taken and one fetch suffices.
+	order := []program.BlockID{
+		p.MustBlock("f.a"),
+		p.MustBlock("f.c"),
+		p.MustBlock("f.b"),
+	}
+	l := program.NewLayoutFromOrder("opt", p, order)
+	res := Simulate(tr, l, DefaultConfig(nil))
+	if res.Fetches != 1 {
+		t.Fatalf("fetches = %d, want 1", res.Fetches)
+	}
+	if res.Instrs != 8 {
+		t.Fatalf("instrs = %d, want 8", res.Instrs)
+	}
+}
+
+// branchChain builds 5 adjacent 2-instruction cond blocks that all
+// fall through, ending in a return.
+func branchChain(t *testing.T) (*program.Program, *trace.Trace) {
+	t.Helper()
+	b := program.NewBuilder()
+	f := b.Proc("f", "m")
+	f.Cond("b0", 2, "end")
+	f.Cond("b1", 2, "end")
+	f.Cond("b2", 2, "end")
+	f.Cond("b3", 2, "end")
+	f.Ret("end", 2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(p)
+	r := trace.NewRecorder(tr, true)
+	for _, n := range []string{"f.b0", "f.b1", "f.b2", "f.b3", "f.end"} {
+		r.Block(p.MustBlock(n))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+func TestSeq3BranchLimit(t *testing.T) {
+	p, tr := branchChain(t)
+	l := program.OriginalLayout(p)
+	res := Simulate(tr, l, DefaultConfig(nil))
+	// All blocks are adjacent (no taken branches), but each cond block
+	// ends in a branch: fetch 1 delivers b0,b1,b2 (3 branches = limit,
+	// 6 instrs); fetch 2 delivers b3 and the return's first... the
+	// return block 'end' ends in a branch too but it's the 2nd branch
+	// of fetch 2 and the trace ends: fetch 2 delivers b3+end = 4.
+	if res.Fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", res.Fetches)
+	}
+	if res.Instrs != 10 {
+		t.Fatalf("instrs = %d, want 10", res.Instrs)
+	}
+}
+
+func TestSeq3TwoLineLimit(t *testing.T) {
+	// One 40-instruction block starting at line 0: a fetch from address
+	// 0 may span lines 0 and 1 only (instructions 0..31), but width 16
+	// binds first. Use width 32 to exercise the line limit.
+	p, tr := straightProgram(t)
+	l := program.OriginalLayout(p)
+	cfg := DefaultConfig(nil)
+	cfg.Width = 32
+	res := Simulate(tr, l, cfg)
+	// Fetch 1: instructions 0..31 (two lines). Fetch 2: 32..39.
+	if res.Fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", res.Fetches)
+	}
+	if res.Instrs != 40 {
+		t.Fatalf("instrs = %d, want 40", res.Instrs)
+	}
+}
+
+func TestMissPenaltyAccounting(t *testing.T) {
+	p, tr := straightProgram(t)
+	l := program.OriginalLayout(p)
+	ic := cache.NewDirectMapped(1024, 64)
+	cfg := DefaultConfig(ic)
+	res := Simulate(tr, l, cfg)
+	// 3 fetches; fetch 1 touches lines 0 (instr 0..15): miss.
+	// fetch 2 touches line 1: miss. fetch 3 touches line 2: miss.
+	if res.LineMisses != 3 {
+		t.Fatalf("line misses = %d, want 3", res.LineMisses)
+	}
+	if res.Cycles != 3+3*5 {
+		t.Fatalf("cycles = %d, want 18", res.Cycles)
+	}
+	// Re-simulating re-resets the cache: same result.
+	res2 := Simulate(tr, l, cfg)
+	if res2 != res {
+		t.Fatal("simulation is not deterministic across runs")
+	}
+}
+
+func TestFetchSpanningTwoLinesAccessesBoth(t *testing.T) {
+	// Block of 20 instructions starting at instruction 8 of a line:
+	// place a 8-instr block before it.
+	b := program.NewBuilder()
+	f := b.Proc("f", "m")
+	f.Fall("pad", 8)
+	f.Ret("body", 20)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(p)
+	r := trace.NewRecorder(tr, true)
+	r.Block(p.MustBlock("f.pad"))
+	r.Block(p.MustBlock("f.body"))
+	l := program.OriginalLayout(p)
+	ic := cache.NewDirectMapped(1024, 64)
+	res := Simulate(tr, l, DefaultConfig(ic))
+	// Fetch 1 at addr 0: pad(8) + body[0..7] = 16 instrs, line 0 only.
+	// Fetch 2 at instr 16 (addr 64): 12 instrs in line 1 only.
+	// All three... two lines accessed, both miss.
+	if res.Fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", res.Fetches)
+	}
+	if res.LineAccesses != 2 {
+		t.Fatalf("line accesses = %d, want 2", res.LineAccesses)
+	}
+	if res.LineMisses != 2 {
+		t.Fatalf("line misses = %d, want 2", res.LineMisses)
+	}
+	if got := res.MissesPer100Instr(); math.Abs(got-100*2.0/28) > 1e-9 {
+		t.Fatalf("miss rate = %v", got)
+	}
+}
+
+// loopTrace builds a trace of n iterations of a 3-block loop with a
+// taken back edge under the original layout.
+func loopTrace(t *testing.T, n int) (*program.Program, *trace.Trace) {
+	t.Helper()
+	b := program.NewBuilder()
+	f := b.Proc("f", "m")
+	f.Fall("head", 4)
+	f.Cond("body", 6, "head") // taken back edge
+	f.Ret("exit", 2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(p)
+	r := trace.NewRecorder(tr, true)
+	for i := 0; i < n; i++ {
+		r.Block(p.MustBlock("f.head"))
+		r.Block(p.MustBlock("f.body"))
+	}
+	r.Block(p.MustBlock("f.head"))
+	r.Block(p.MustBlock("f.body"))
+	r.Block(p.MustBlock("f.exit"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+func TestTraceCacheCapturesLoop(t *testing.T) {
+	p, tr := loopTrace(t, 50)
+	l := program.OriginalLayout(p)
+	plain := Simulate(tr, l, DefaultConfig(nil))
+
+	cfg := DefaultConfig(nil)
+	cfg.TC = cache.NewTraceCache(256, 16, 3, 4)
+	withTC := Simulate(tr, l, cfg)
+	if withTC.TCHits == 0 {
+		t.Fatal("trace cache never hit on a hot loop")
+	}
+	if withTC.IPC() <= plain.IPC() {
+		t.Fatalf("TC IPC %v should beat plain %v on a loop with a taken back edge",
+			withTC.IPC(), plain.IPC())
+	}
+	if withTC.Instrs != plain.Instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", withTC.Instrs, plain.Instrs)
+	}
+}
+
+func TestTraceCacheHitsBypassICache(t *testing.T) {
+	p, tr := loopTrace(t, 50)
+	l := program.OriginalLayout(p)
+	ic := cache.NewDirectMapped(8192, 64)
+	cfg := DefaultConfig(ic)
+	cfg.TC = cache.NewTraceCache(256, 16, 3, 4)
+	res := Simulate(tr, l, cfg)
+	// Line accesses only happen on TC misses.
+	if res.LineAccesses >= res.Fetches {
+		t.Fatalf("line accesses %d should be fewer than fetches %d",
+			res.LineAccesses, res.Fetches)
+	}
+	if res.TCInstrs == 0 || res.TCInstrs >= res.Instrs {
+		t.Fatalf("TC delivered %d of %d instrs", res.TCInstrs, res.Instrs)
+	}
+}
+
+func TestSequentiality(t *testing.T) {
+	p, tr := loopTrace(t, 9) // 10 head+body pairs, 10 taken back edges... 9 back edges + exit
+	l := program.OriginalLayout(p)
+	st := Sequentiality(tr, l)
+	// Trace: (head body) x10 + exit. Transitions: 21-1 = 20.
+	// head->body adjacent (not taken) x10; body->head taken x9;
+	// body->exit adjacent (not taken) x1.
+	if st.Transitions != 20 {
+		t.Fatalf("transitions = %d, want 20", st.Transitions)
+	}
+	if st.Taken != 9 {
+		t.Fatalf("taken = %d, want 9", st.Taken)
+	}
+	wantInstr := uint64(10*(4+6) + 2)
+	if st.Instrs != wantInstr {
+		t.Fatalf("instrs = %d, want %d", st.Instrs, wantInstr)
+	}
+	if math.Abs(st.InstrPerTaken-float64(wantInstr)/9) > 1e-9 {
+		t.Fatalf("instr/taken = %v", st.InstrPerTaken)
+	}
+}
+
+func TestSequentialityNoTaken(t *testing.T) {
+	p, tr := straightProgram(t)
+	l := program.OriginalLayout(p)
+	st := Sequentiality(tr, l)
+	if st.Taken != 0 {
+		t.Fatalf("taken = %d, want 0", st.Taken)
+	}
+	if st.InstrPerTaken != 40 {
+		t.Fatalf("instr/taken fallback = %v, want 40", st.InstrPerTaken)
+	}
+}
+
+func TestIdealIPCEqualsIPCWithoutCache(t *testing.T) {
+	p, tr := loopTrace(t, 20)
+	l := program.OriginalLayout(p)
+	res := Simulate(tr, l, DefaultConfig(nil))
+	if math.Abs(res.IPC()-res.IdealIPC()) > 1e-12 {
+		t.Fatal("with no cache, IPC must equal IdealIPC")
+	}
+}
+
+func TestStreamPeekAcrossBlocks(t *testing.T) {
+	p, tr := loopTrace(t, 2)
+	l := program.OriginalLayout(p)
+	s := newStream(tr, l)
+	// head starts at 0 (4 instrs), body at 16 (6 instrs).
+	if a, ok := s.peek(0); !ok || a != 0 {
+		t.Fatalf("peek(0) = %d,%v", a, ok)
+	}
+	if a, ok := s.peek(4); !ok || a != 16 {
+		t.Fatalf("peek(4) = %d,%v, want body start 16", a, ok)
+	}
+	if a, ok := s.peek(9); !ok || a != 16+5*4 {
+		t.Fatalf("peek(9) = %d,%v, want last body instr", a, ok)
+	}
+	if a, ok := s.peek(10); !ok || a != 0 {
+		t.Fatalf("peek(10) = %d,%v, want head again", a, ok)
+	}
+	total := 0
+	for _, b := range tr.Blocks {
+		total += p.Block(b).Size
+	}
+	if _, ok := s.peek(total); ok {
+		t.Fatal("peek past end must report false")
+	}
+	s.advance(total - 1)
+	if s.done() {
+		t.Fatal("stream should have one instruction left")
+	}
+	s.advance(1)
+	if !s.done() {
+		t.Fatal("stream should be exhausted")
+	}
+}

@@ -1,0 +1,186 @@
+package profile
+
+import (
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// ReuseStats summarizes the temporal locality of a set of blocks: the
+// probability that a block of the set is re-executed within a given
+// number of dynamic instructions of its previous execution
+// (Section 4.1 of the paper: 33% within 250 instructions, 19% within
+// 100, for the blocks concentrating 75% of references).
+type ReuseStats struct {
+	// Thresholds are the instruction-distance cut-offs examined.
+	Thresholds []uint64
+	// Prob[i] is the fraction of re-executions of tracked blocks whose
+	// distance to the previous execution was < Thresholds[i].
+	Prob []float64
+	// Reexecutions is the number of (non-first) executions observed.
+	Reexecutions uint64
+}
+
+// Reuse computes reuse-distance statistics over a trace for the given
+// subset of blocks. Distance is measured in dynamic instructions
+// executed between two consecutive invocations of the same block
+// (exclusive of the block itself).
+func Reuse(t *trace.Trace, track map[program.BlockID]bool, thresholds []uint64) ReuseStats {
+	th := append([]uint64(nil), thresholds...)
+	sort.Slice(th, func(i, j int) bool { return th[i] < th[j] })
+	counts := make([]uint64, len(th))
+	lastSeen := make(map[program.BlockID]uint64, len(track))
+	var clock uint64 // dynamic instructions executed so far
+	var reexec uint64
+	prog := t.Program()
+	for _, b := range t.Blocks {
+		if track[b] {
+			if prev, seen := lastSeen[b]; seen {
+				reexec++
+				dist := clock - prev
+				for i, cut := range th {
+					if dist < cut {
+						counts[i]++
+					}
+				}
+			}
+			// Distance excludes the block's own instructions: record
+			// the clock after this execution completes.
+			lastSeen[b] = clock + uint64(prog.Block(b).Size)
+		}
+		clock += uint64(prog.Block(b).Size)
+	}
+	st := ReuseStats{Thresholds: th, Prob: make([]float64, len(th)), Reexecutions: reexec}
+	if reexec > 0 {
+		for i, c := range counts {
+			st.Prob[i] = float64(c) / float64(reexec)
+		}
+	}
+	return st
+}
+
+// TypeClass is the paper's Table 2 block taxonomy.
+type TypeClass int
+
+const (
+	ClassFallThrough TypeClass = iota
+	ClassBranch                // conditional or unconditional branch
+	ClassCall                  // subroutine call or indirect jump
+	ClassReturn
+	numClasses
+)
+
+// String returns the paper's row label for the class.
+func (c TypeClass) String() string {
+	switch c {
+	case ClassFallThrough:
+		return "Fall-through"
+	case ClassBranch:
+		return "Branch"
+	case ClassCall:
+		return "Subroutine call"
+	case ClassReturn:
+		return "Subroutine return"
+	}
+	return "?"
+}
+
+// ClassOf maps a block kind to its Table 2 class.
+func ClassOf(k program.BlockKind) TypeClass {
+	switch k {
+	case program.KindFallThrough:
+		return ClassFallThrough
+	case program.KindCondBranch, program.KindJump:
+		return ClassBranch
+	case program.KindCall:
+		return ClassCall
+	case program.KindReturn:
+		return ClassReturn
+	}
+	return ClassFallThrough
+}
+
+// TypeRow is one row of Table 2.
+type TypeRow struct {
+	Class TypeClass
+	// StaticPct is the share of this class among executed static blocks.
+	StaticPct float64
+	// DynamicPct is the share among dynamic block executions.
+	DynamicPct float64
+	// PredictablePct is the share of the class's dynamic executions
+	// coming from blocks that behave in a fixed way.
+	PredictablePct float64
+}
+
+// TypeStats is Table 2 plus the overall predictability number quoted
+// in the text ("Overall, 80% of the basic block transitions are
+// predictable").
+type TypeStats struct {
+	Rows       [4]TypeRow
+	OverallPct float64
+}
+
+// FixedThreshold is the dominant-successor probability above which a
+// conditional branch counts as behaving "in a fixed way" (always taken
+// or always not taken). The paper does not state its cut-off; 0.95
+// reproduces the reported structure.
+const FixedThreshold = 0.95
+
+// TypeBreakdown computes Table 2 from the profile. Fall-through blocks
+// always continue at the next block; unconditional jumps, calls and
+// (with a return-address stack) returns have fixed targets, so the
+// paper counts them 100% predictable. Conditional branches count as
+// predictable when one direction captures at least FixedThreshold of
+// their dynamic transitions.
+func (p *Profile) TypeBreakdown() TypeStats {
+	var staticN, dynN [numClasses]uint64
+	var predN [numClasses]uint64
+	var staticTot, dynTot, predTot uint64
+	for b, c := range p.BlockCount {
+		if c == 0 {
+			continue
+		}
+		blk := p.Prog.Block(program.BlockID(b))
+		cl := ClassOf(blk.Kind)
+		staticN[cl]++
+		staticTot++
+		dynN[cl] += c
+		dynTot += c
+		var fixed bool
+		if blk.Kind == program.KindCondBranch {
+			fixed = p.dominantShare(program.BlockID(b)) >= FixedThreshold
+		} else {
+			fixed = true
+		}
+		if fixed {
+			predN[cl] += c
+			predTot += c
+		}
+	}
+	var st TypeStats
+	for cl := TypeClass(0); cl < numClasses; cl++ {
+		st.Rows[cl] = TypeRow{
+			Class:          cl,
+			StaticPct:      pct(staticN[cl], staticTot),
+			DynamicPct:     pct(dynN[cl], dynTot),
+			PredictablePct: pct(predN[cl], dynN[cl]),
+		}
+	}
+	st.OverallPct = pct(predTot, dynTot)
+	return st
+}
+
+// dominantShare returns the fraction of b's dynamic transitions taken
+// by its most frequent successor.
+func (p *Profile) dominantShare(b program.BlockID) float64 {
+	succs := p.Succs(b)
+	if len(succs) == 0 {
+		return 1
+	}
+	var total uint64
+	for _, s := range succs {
+		total += s.Count
+	}
+	return float64(succs[0].Count) / float64(total)
+}

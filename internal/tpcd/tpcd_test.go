@@ -1,0 +1,138 @@
+package tpcd
+
+import (
+	"testing"
+
+	"repro/internal/db/executor"
+	"repro/internal/db/sql"
+	"repro/internal/db/value"
+	"repro/internal/kernel"
+)
+
+func TestSmokeAllQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SF = 0.001
+	db, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := kernel.New(kernel.Config{ColdProcs: 10, Seed: 1})
+	ses := img.NewSession(true)
+	db.Buf.FlushAll()
+	c := executor.NewCtx(ses)
+	for _, qn := range AllQueryNumbers() {
+		q, _ := Query(qn)
+		rows, _, err := sql.Exec(db, c, q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", qn, err)
+		}
+		if err := ses.Err(); err != nil {
+			t.Fatalf("Q%d: trace validation: %v", qn, err)
+		}
+		t.Logf("Q%d: %d rows, trace now %d events", qn, len(rows), ses.Trace().Len())
+	}
+}
+
+func TestCardinalityScaling(t *testing.T) {
+	if Cardinality("region", 0.001) != 5 || Cardinality("nation", 2) != 25 {
+		t.Fatal("fixed tables must not scale")
+	}
+	if Cardinality("lineitem", 0.001) != 6000 {
+		t.Fatalf("lineitem at 0.001 = %d", Cardinality("lineitem", 0.001))
+	}
+	if Cardinality("orders", 0.0000001) != 1 {
+		t.Fatal("cardinality must be at least 1")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SF = 0.0005
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"customer", "orders", "lineitem"} {
+		if a.NumRows(tbl) != b.NumRows(tbl) {
+			t.Fatalf("%s cardinality differs across identical builds", tbl)
+		}
+	}
+}
+
+func TestQuerySetsAreImplemented(t *testing.T) {
+	for _, qn := range TrainingQueries {
+		if _, ok := Query(qn); !ok {
+			t.Errorf("training query %d missing", qn)
+		}
+	}
+	for _, qn := range TestQueries {
+		if _, ok := Query(qn); !ok {
+			t.Errorf("test query %d missing", qn)
+		}
+	}
+	if _, ok := Query(99); ok {
+		t.Error("query 99 should not exist")
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SF = 0.0005
+	db, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := executor.NewCtx(nil)
+	// Every order's customer must exist: an inner join loses no orders.
+	rows, _, err := sql.Exec(db, c, "select count(*) from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, _, err := sql.Exec(db, c, "select count(*) from orders, customer where o_custkey = c_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != joined[0][0].I {
+		t.Fatalf("FK violation: %d orders, %d join matches", rows[0][0].I, joined[0][0].I)
+	}
+}
+
+func TestQ6AgainstNaiveEvaluation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SF = 0.0005
+	db, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := executor.NewCtx(nil)
+	q, _ := tpcdQuery6()
+	rows, _, err := sql.Exec(db, c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive recomputation over a raw scan.
+	raw, _, err := sql.Exec(db, c,
+		"select l_shipdate, l_discount, l_quantity, l_extendedprice from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := value.MakeDate(1994, 1, 1)
+	hi := value.MakeDate(1995, 1, 1)
+	var want float64
+	for _, r := range raw {
+		if r[0].I >= lo && r[0].I < hi &&
+			r[1].F >= 0.05 && r[1].F <= 0.07 && r[2].F < 24 {
+			want += r[3].F * r[1].F
+		}
+	}
+	got := rows[0][0].F
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 revenue = %v, naive = %v", got, want)
+	}
+}
+
+func tpcdQuery6() (string, bool) { return Query(6) }

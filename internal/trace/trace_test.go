@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/program"
+)
+
+// testProgram builds the same main/helper pair used by the program
+// package tests.
+func testProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder()
+	m := b.Proc("main", "core")
+	m.Fall("entry", 3)
+	m.Cond("loop", 2, "exit")
+	m.Call("callh", 1, "helper")
+	m.Jump("back", 2, "loop")
+	m.Ret("exit", 1)
+	h := b.Proc("helper", "lib")
+	h.Fall("entry", 4)
+	h.Ret("ret", 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// emitRun records N iterations of the main loop then the exit path.
+func emitRun(t *testing.T, p *program.Program, r *Recorder, iters int) {
+	t.Helper()
+	id := p.MustBlock
+	r.Block(id("main.entry"))
+	for i := 0; i < iters; i++ {
+		r.Block(id("main.loop"))
+		r.Block(id("main.callh"))
+		r.Block(id("helper.entry"))
+		r.Block(id("helper.ret"))
+		r.Block(id("main.back"))
+	}
+	r.Block(id("main.loop"))
+	r.Block(id("main.exit"))
+}
+
+func TestRecorderValidRun(t *testing.T) {
+	p := testProgram(t)
+	tr := New(p)
+	r := NewRecorder(tr, true)
+	emitRun(t, p, r, 3)
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected validation error: %v", err)
+	}
+	wantBlocks := 1 + 3*5 + 2
+	if tr.Len() != wantBlocks {
+		t.Fatalf("trace length = %d, want %d", tr.Len(), wantBlocks)
+	}
+	wantInstr := uint64(3 + 3*(2+1+4+1+2) + 2 + 1)
+	if tr.Instrs != wantInstr {
+		t.Fatalf("Instrs = %d, want %d", tr.Instrs, wantInstr)
+	}
+}
+
+func TestRecorderCatchesIllegalTransition(t *testing.T) {
+	p := testProgram(t)
+	r := NewRecorder(New(p), true)
+	r.Block(p.MustBlock("main.entry"))
+	r.Block(p.MustBlock("main.exit")) // entry falls through to loop, not exit
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "illegal transition") {
+		t.Fatalf("want illegal-transition error, got %v", err)
+	}
+}
+
+func TestRecorderCatchesWrongReturn(t *testing.T) {
+	p := testProgram(t)
+	// Build a second caller so a wrong continuation exists.
+	b := program.NewBuilder()
+	f := b.Proc("f", "m")
+	f.Call("c1", 1, "g")
+	f.Call("c2", 1, "g")
+	f.Ret("exit", 1)
+	g := b.Proc("g", "m")
+	g.Ret("entry", 1)
+	p2, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_ = p
+	r := NewRecorder(New(p2), true)
+	r.Block(p2.MustBlock("f.c1"))
+	r.Block(p2.MustBlock("g.entry"))
+	r.Block(p2.MustBlock("f.exit")) // should return to f.c2
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "expected continuation") {
+		t.Fatalf("want continuation error, got %v", err)
+	}
+}
+
+func TestReturnAboveTraceStartIsTolerated(t *testing.T) {
+	// Tracing may begin mid-execution: a return with an empty stack is
+	// legal and the following transition is simply unvalidated.
+	p := testProgram(t)
+	r := NewRecorder(New(p), true)
+	r.Block(p.MustBlock("helper.entry"))
+	r.Block(p.MustBlock("helper.ret")) // no call on the stack
+	r.Block(p.MustBlock("main.entry")) // arbitrary next block: fine
+	r.Block(p.MustBlock("main.loop"))  // validated again from here
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	r.Block(p.MustBlock("main.entry")) // loop -> entry is illegal
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "illegal transition") {
+		t.Fatalf("validation should resume after unknown transition, got %v", err)
+	}
+}
+
+func TestRecorderStackBalancedInFastMode(t *testing.T) {
+	p := testProgram(t)
+	r := NewRecorder(New(p), false)
+	emitRun(t, p, r, 100)
+	if r.Depth() != 0 {
+		t.Fatalf("call stack depth = %d after balanced run, want 0", r.Depth())
+	}
+}
+
+func TestMarksAndAppend(t *testing.T) {
+	p := testProgram(t)
+	t1 := New(p)
+	r1 := NewRecorder(t1, true)
+	r1.Mark("q1")
+	emitRun(t, p, r1, 1)
+	t2 := New(p)
+	r2 := NewRecorder(t2, true)
+	r2.Mark("q2")
+	emitRun(t, p, r2, 2)
+
+	total := New(p)
+	total.Append(t1)
+	total.Append(t2)
+	if total.Len() != t1.Len()+t2.Len() {
+		t.Fatalf("appended length = %d, want %d", total.Len(), t1.Len()+t2.Len())
+	}
+	if total.Instrs != t1.Instrs+t2.Instrs {
+		t.Fatal("appended instruction count mismatch")
+	}
+	if len(total.Marks) != 2 {
+		t.Fatalf("marks = %d, want 2", len(total.Marks))
+	}
+	if total.Marks[0].Label != "q1" || total.Marks[0].Pos != 0 {
+		t.Fatalf("mark 0 = %+v", total.Marks[0])
+	}
+	if total.Marks[1].Label != "q2" || total.Marks[1].Pos != t1.Len() {
+		t.Fatalf("mark 1 = %+v, want pos %d", total.Marks[1], t1.Len())
+	}
+}
+
+func TestReplayVisitsAllInOrder(t *testing.T) {
+	p := testProgram(t)
+	tr := New(p)
+	r := NewRecorder(tr, true)
+	emitRun(t, p, r, 2)
+	var got []program.BlockID
+	tr.Replay(func(b program.BlockID) { got = append(got, b) })
+	if len(got) != tr.Len() {
+		t.Fatalf("replay visited %d, want %d", len(got), tr.Len())
+	}
+	for i, b := range got {
+		if b != tr.Blocks[i] {
+			t.Fatalf("replay order differs at %d", i)
+		}
+	}
+}
+
+func TestPathEmitsEachBlock(t *testing.T) {
+	p := testProgram(t)
+	tr := New(p)
+	r := NewRecorder(tr, true)
+	id := p.MustBlock
+	r.Path([]program.BlockID{id("main.entry"), id("main.loop")})
+	if tr.Len() != 2 || r.Err() != nil {
+		t.Fatalf("path emit failed: len=%d err=%v", tr.Len(), r.Err())
+	}
+}
+
+// Property: every dynamic transition recorded by a validating recorder
+// that reports no error is a legal static edge (returns validated via
+// the stack).
+func TestDynamicEdgesAreStaticEdges(t *testing.T) {
+	p := testProgram(t)
+	tr := New(p)
+	r := NewRecorder(tr, true)
+	emitRun(t, p, r, 10)
+	if err := r.Err(); err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		from, to := tr.Blocks[i-1], tr.Blocks[i]
+		if !p.ValidEdge(from, to) {
+			t.Fatalf("recorded transition %s -> %s is not a static edge",
+				p.Block(from).Name, p.Block(to).Name)
+		}
+	}
+}
