@@ -1,6 +1,6 @@
 // Command dsquery builds a TPC-D database and runs a query against it,
-// printing the result rows — a minimal interactive front end for the
-// database kernel.
+// streaming the result rows — a minimal interactive front end for the
+// database kernel, built entirely on the public dsdb API.
 //
 // Usage: dsquery -sf 0.002 -q 6             (TPC-D query by number)
 //
@@ -8,14 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/db/executor"
-	"repro/internal/db/sql"
-	"repro/internal/tpcd"
+	"repro/dsdb"
 )
 
 func main() {
@@ -24,39 +23,45 @@ func main() {
 	qn := flag.Int("q", 0, "TPC-D query number (2,3,4,5,6,9,11,12,13,14,15,17)")
 	text := flag.String("sql", "", "ad-hoc SQL text (overrides -q)")
 	hash := flag.Bool("hash", false, "use the hash-indexed database instead of Btree")
+	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
 
 	query := *text
 	if query == "" {
-		q, ok := tpcd.Query(*qn)
+		q, ok := dsdb.TPCDQuery(*qn)
 		if !ok {
 			log.Fatalf("no TPC-D query %d; use -q or -sql", *qn)
 		}
 		query = q
 	}
-	cfg := tpcd.DefaultConfig()
-	cfg.SF = *sf
+	kind := dsdb.BTree
 	if *hash {
-		cfg.Indexes = 1
+		kind = dsdb.Hash
 	}
-	fmt.Fprintf(os.Stderr, "loading TPC-D (SF=%g, %s indices)...\n", *sf, cfg.Indexes)
-	db, err := tpcd.Build(cfg)
+	fmt.Fprintf(os.Stderr, "loading TPC-D (SF=%g, %s indices)...\n", *sf, kind)
+	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind), dsdb.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, schema, err := sql.Exec(db, executor.NewCtx(nil), query)
+	rows, err := db.Query(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, c := range schema.Columns {
-		fmt.Printf("%-18s", c.Name)
+	defer rows.Close()
+	for _, c := range rows.Columns() {
+		fmt.Printf("%-18s", c)
 	}
 	fmt.Println()
-	for _, r := range rows {
-		for _, v := range r {
+	n := 0
+	for rows.Next() {
+		for _, v := range rows.Values() {
 			fmt.Printf("%-18s", v.String())
 		}
 		fmt.Println()
+		n++
 	}
-	fmt.Fprintf(os.Stderr, "(%d rows)\n", len(rows))
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
 }

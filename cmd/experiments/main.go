@@ -10,7 +10,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/dsdb/stcpipe"
 )
 
 func main() {
@@ -21,41 +21,29 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: table1|figure2|reuse|table2|table3|table4|seq|ablation")
 	flag.Parse()
 
-	params := experiments.Params{SF: *sf, Seed: *seed, Validate: *validate}
 	fmt.Fprintf(os.Stderr, "building databases and traces (SF=%g)...\n", *sf)
-	s, err := experiments.NewSetup(params)
+	r, err := stcpipe.NewReport(stcpipe.ReportParams{SF: *sf, Seed: *seed, Validate: *validate})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "training trace: %d block events (%d instrs); test trace: %d (%d)\n",
-		s.TrainTrace.Len(), s.TrainTrace.Instrs, s.TestTrace.Len(), s.TestTrace.Instrs)
+	fmt.Fprintln(os.Stderr, r.TraceSummary())
 
-	want := func(name string) bool { return *only == "" || *only == name }
-
-	if want("table1") {
-		fmt.Println(experiments.FormatTable1(s.Table1()))
+	sections := []struct {
+		name   string
+		render func() string
+	}{
+		{"table1", r.Table1},
+		{"figure2", r.Figure2},
+		{"reuse", r.Reuse},
+		{"table2", r.Table2},
+		{"seq", r.Sequentiality},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+		{"ablation", r.Ablation},
 	}
-	if want("figure2") {
-		fmt.Println(s.FormatFigure2())
-	}
-	if want("reuse") {
-		fmt.Println(experiments.FormatReuse(s.Reuse()))
-	}
-	if want("table2") {
-		fmt.Println(experiments.FormatTable2(s.Table2()))
-	}
-	if want("seq") {
-		fmt.Println(experiments.FormatSequentiality(s.Sequentiality()))
-	}
-	if want("table3") {
-		fmt.Println(experiments.FormatTable3(s.Table3()))
-	}
-	if want("table4") {
-		ideal, rows := s.Table4()
-		fmt.Println(experiments.FormatTable4(ideal, rows))
-	}
-	if want("ablation") {
-		fmt.Println(experiments.FormatAblation(
-			s.AblationThresholds(experiments.CacheConfig{CacheBytes: 4096, CFABytes: 1024})))
+	for _, s := range sections {
+		if *only == "" || *only == s.name {
+			fmt.Println(s.render())
+		}
 	}
 }

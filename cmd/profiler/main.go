@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/experiments"
+	"repro/dsdb/stcpipe"
 )
 
 func main() {
@@ -18,22 +18,17 @@ func main() {
 	top := flag.Int("top", 20, "number of hottest blocks to list")
 	flag.Parse()
 
-	s, err := experiments.NewSetup(experiments.Params{SF: *sf, Seed: 42})
+	r, err := stcpipe.NewReport(stcpipe.ReportParams{SF: *sf, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatTable1(s.Table1()))
+	fmt.Print(r.Table1())
 	fmt.Println()
-	fmt.Print(experiments.FormatTable2(s.Table2()))
+	fmt.Print(r.Table2())
 	fmt.Println()
 	fmt.Printf("hottest %d basic blocks (training set):\n", *top)
-	blocks := s.Profile.ExecutedBlocks()
-	for i, b := range blocks {
-		if i >= *top {
-			break
-		}
-		blk := s.Img.Prog.Block(b)
+	for i, b := range r.HottestBlocks(*top) {
 		fmt.Printf("%4d. %-28s %10d executions (%d instrs)\n",
-			i+1, blk.Name, s.Profile.Weight(b), blk.Size)
+			i+1, b.Name, b.Executions, b.Instrs)
 	}
 }

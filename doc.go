@@ -1,11 +1,25 @@
 // Package repro is a from-scratch reproduction of "Optimization of
 // Instruction Fetch for Decision Support Workloads" (Ramírez,
 // Larriba-Pey, Navarro, Serrano, Valero, Torrellas — ICPP 1999): the
-// Software Trace Cache. It contains a complete instrumented database
-// kernel (storage manager, buffer manager, B-tree/hash access methods,
-// Volcano executor, SQL front end), a TPC-D workload generator, the
-// STC layout algorithm with the Pettis & Hansen and Torrellas et al.
-// baselines, and i-cache/trace-cache/SEQ.3 fetch-unit simulators that
-// regenerate every table and figure of the paper. See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// Software Trace Cache.
+//
+// The public surface is two packages:
+//
+//   - repro/dsdb — a database/sql-style API over the instrumented
+//     database kernel: Open with functional options (buffer pool,
+//     index kind, TPC-D preload, tracer attachment), streaming Query
+//     with context cancellation, QueryRow/Exec/Prepare, and DDL
+//     passthroughs.
+//   - repro/dsdb/stcpipe — the paper's toolchain as one composable
+//     pipeline: Profile (traced workload → weighted CFG), Layout
+//     (pluggable algorithms: STC, Pettis & Hansen, Torrellas,
+//     original) and Simulate (SEQ.3 fetch unit with i-cache and
+//     trace-cache models), plus Report for regenerating every table
+//     and figure of the paper.
+//
+// Everything under internal/ — the storage manager, buffer manager,
+// B-tree/hash access methods, Volcano executor, SQL front end, TPC-D
+// generator, kernel image, and the layout/fetch simulators — is
+// implementation detail reached only through those two packages. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

@@ -1,0 +1,204 @@
+// Package dsdb is the public façade of the repository: a
+// database/sql-flavored API over the instrumented decision-support
+// database kernel that the Software Trace Cache reproduction is built
+// around. Open a database with functional options, query it through a
+// streaming Rows iterator, and attach a probe tracer to record the
+// dynamic basic-block traces the paper's toolchain consumes (see
+// dsdb/stcpipe for the profile → layout → simulate pipeline).
+//
+//	db, err := dsdb.Open(dsdb.WithTPCD(0.002))
+//	rows, err := db.Query(ctx, "select sum(l_extendedprice) from lineitem")
+//	for rows.Next() { ... rows.Scan(&v) ... }
+//
+// This package and dsdb/stcpipe are the only sanctioned entry points;
+// everything under internal/ is implementation.
+package dsdb
+
+import (
+	"fmt"
+
+	"repro/internal/db/catalog"
+	"repro/internal/db/engine"
+	"repro/internal/db/probe"
+	"repro/internal/db/value"
+	"repro/internal/tpcd"
+)
+
+// Value is one SQL value (integer, float, string, date, bool or NULL).
+type Value = value.Value
+
+// Type enumerates SQL value types.
+type Type = value.Type
+
+// Value types.
+const (
+	Int   = value.Int
+	Float = value.Float
+	Str   = value.Str
+	Date  = value.Date
+	Bool  = value.Bool
+	Null  = value.Null
+)
+
+// Value constructors, re-exported for the Insert passthrough.
+var (
+	NewInt   = value.NewInt
+	NewFloat = value.NewFloat
+	NewStr   = value.NewStr
+	NewDate  = value.NewDate
+	NewNull  = value.NewNull
+	// ParseDate parses "YYYY-MM-DD" into day-number form.
+	ParseDate = value.ParseDate
+	// MakeDate builds a day number from year, month, day.
+	MakeDate = value.MakeDate
+)
+
+// Column describes one column of a table schema.
+type Column = catalog.Column
+
+// Col is a convenience constructor for Column.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// IndexKind selects the access method backing an index.
+type IndexKind = catalog.IndexKind
+
+// Index kinds.
+const (
+	BTree = catalog.BTree
+	Hash  = catalog.Hash
+)
+
+// Tracer receives the kernel's instrumentation probe events. The
+// stcpipe package supplies tracers that record basic-block traces; a
+// nil tracer runs queries uninstrumented at zero cost.
+type Tracer = probe.Tracer
+
+// config collects the Open options.
+type config struct {
+	frames   int
+	indexes  IndexKind
+	tracer   Tracer
+	seed     int64
+	tpcdSF   float64
+	loadTPCD bool
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithBufferFrames sizes the buffer pool (default 2048 frames).
+func WithBufferFrames(n int) Option {
+	return func(c *config) { c.frames = n }
+}
+
+// WithIndexKind selects the index access method used by the TPC-D
+// preload and as the CreateIndex default context (default BTree). The
+// paper builds one database of each kind.
+func WithIndexKind(k IndexKind) Option {
+	return func(c *config) { c.indexes = k }
+}
+
+// WithTracer attaches an instrumentation tracer at open time;
+// equivalent to calling SetTracer afterwards.
+func WithTracer(t Tracer) Option {
+	return func(c *config) { c.tracer = t }
+}
+
+// WithTPCD preloads the 8-table TPC-D benchmark database at the given
+// scale factor (SF=1 is the standard 1GB database; the paper-scale
+// experiments use 0.002 and smaller). Generation is deterministic
+// under WithSeed.
+func WithTPCD(sf float64) Option {
+	return func(c *config) {
+		c.tpcdSF = sf
+		c.loadTPCD = true
+	}
+}
+
+// WithSeed seeds the deterministic data generator (default 42). Two
+// databases opened with identical options always hold identical data,
+// so benchmarks and experiments compare like with like.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// DB is one open database. The engine is single-threaded by design
+// (it models the paper's instrumented PostgreSQL backend); a DB and
+// its statements must not be used from multiple goroutines at once.
+type DB struct {
+	eng    *engine.DB
+	tracer Tracer
+}
+
+// Open creates a database configured by the given options.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{frames: 2048, indexes: BTree, seed: 42}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.frames <= 0 {
+		return nil, fmt.Errorf("dsdb: buffer pool must have at least 1 frame, got %d", cfg.frames)
+	}
+	db := &DB{eng: engine.Open(cfg.frames), tracer: cfg.tracer}
+	if cfg.loadTPCD {
+		// BufferFrames is not set: the engine is already sized above;
+		// tpcd.Load fills an existing engine.
+		tc := tpcd.Config{
+			SF:      cfg.tpcdSF,
+			Seed:    cfg.seed,
+			Indexes: cfg.indexes,
+		}
+		if err := tpcd.Load(db.eng, tc); err != nil {
+			return nil, fmt.Errorf("dsdb: loading TPC-D: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// SetTracer attaches (or, with nil, detaches) the instrumentation
+// tracer. The tracer is bound into statements when they are compiled,
+// so it affects subsequent Query/Prepare calls, not open statements.
+func (db *DB) SetTracer(t Tracer) { db.tracer = t }
+
+// Tracer returns the currently attached tracer (nil when untraced).
+func (db *DB) Tracer() Tracer { return db.tracer }
+
+// CreateTable registers a table with the given columns.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("dsdb: table %q needs at least one column", name)
+	}
+	_, err := db.eng.CreateTable(name, catalog.NewSchema(cols...))
+	return err
+}
+
+// CreateIndex builds an index on table.column. Build indices after
+// loading: hash bucket counts are sized from current cardinality.
+func (db *DB) CreateIndex(table, column string, kind IndexKind, unique bool) error {
+	return db.eng.CreateIndex(table, column, kind, unique)
+}
+
+// Insert appends one row to a table, maintaining its indices.
+func (db *DB) Insert(table string, row ...Value) error {
+	return db.eng.Insert(table, row)
+}
+
+// NumRows returns a table's loaded cardinality.
+func (db *DB) NumRows(table string) int { return db.eng.NumRows(table) }
+
+// Close flushes all dirty pages. The DB is in-memory; Close exists
+// for database/sql symmetry and future durable backends.
+func (db *DB) Close() error { return db.eng.Flush() }
+
+// Engine exposes the underlying kernel engine for the stcpipe
+// pipeline and tests inside this module. External code cannot name
+// the returned type (it lives under internal/) and should treat this
+// as an opaque handle.
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// TPCDQuery returns the text of one of the paper's TPC-D queries
+// (2,3,4,5,6,9,11,12,13,14,15,17).
+func TPCDQuery(n int) (string, bool) { return tpcd.Query(n) }
+
+// TPCDQueryNumbers lists the available TPC-D query numbers.
+func TPCDQueryNumbers() []int { return tpcd.AllQueryNumbers() }

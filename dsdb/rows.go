@@ -1,0 +1,310 @@
+package dsdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/db/executor"
+	"repro/internal/db/sql"
+	"repro/internal/db/value"
+)
+
+// ErrNoRows is returned by Row.Scan when the query matched nothing.
+var ErrNoRows = errors.New("dsdb: no rows in result set")
+
+// ErrStmtBusy is returned when a prepared statement is re-executed
+// while a Rows from a previous execution is still open.
+var ErrStmtBusy = errors.New("dsdb: statement is busy (close the previous Rows first)")
+
+// Stmt is a prepared statement: the query is parsed and planned once
+// and the compiled plan is cached across executions (executor nodes
+// reset on re-open). A Stmt holds mutable execution state and must
+// not be run concurrently with itself.
+type Stmt struct {
+	db    *DB
+	query string
+	c     *executor.Ctx
+	plan  executor.Node
+	cols  []string
+	busy  bool
+}
+
+// Prepare parses and plans a query for repeated execution.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	c := executor.NewCtx(db.tracer)
+	plan, err := sql.Compile(db.eng, c, query)
+	if err != nil {
+		return nil, err
+	}
+	sch := plan.Schema()
+	cols := make([]string, sch.Len())
+	for i, col := range sch.Columns {
+		cols[i] = col.Name
+	}
+	return &Stmt{db: db, query: query, c: c, plan: plan, cols: cols}, nil
+}
+
+// Columns returns the output column names.
+func (s *Stmt) Columns() []string { return append([]string(nil), s.cols...) }
+
+// Query executes the prepared plan and returns a streaming Rows. The
+// context is honored between tuples and inside pipeline-breaking
+// operators (sort loads, hash-join builds): cancellation surfaces as
+// the context's error from Rows.Err.
+func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
+	if s.busy {
+		return nil, ErrStmtBusy
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.busy = true
+	s.c.Interrupt = ctx.Err
+	if err := s.plan.Open(); err != nil {
+		s.plan.Close()
+		s.release()
+		return nil, err
+	}
+	return &Rows{stmt: s, ctx: ctx}, nil
+}
+
+// release detaches the statement from a finished execution.
+func (s *Stmt) release() {
+	s.c.Interrupt = nil
+	s.busy = false
+}
+
+// Close releases the statement. It fails if a Rows is still open.
+func (s *Stmt) Close() error {
+	if s.busy {
+		return ErrStmtBusy
+	}
+	return nil
+}
+
+// Rows is a streaming result iterator in the database/sql style:
+//
+//	rows, err := db.Query(ctx, q)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    if err := rows.Scan(&a, &b); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Tuples are pulled from the executor one at a time — nothing is
+// materialized beyond what the plan itself buffers. Rows auto-closes
+// on exhaustion or error; Close is idempotent and safe to defer.
+type Rows struct {
+	stmt     *Stmt
+	ctx      context.Context
+	cur      executor.Tuple
+	err      error
+	closeErr error
+	closed   bool
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.stmt.Columns() }
+
+// Next advances to the next row, returning false at the end of the
+// result set, on error, or when the query's context is cancelled.
+// Consult Err after Next returns false.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	tup, ok, err := r.stmt.plan.Next()
+	if err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	if !ok {
+		r.close()
+		return false
+	}
+	r.cur = tup
+	return true
+}
+
+// Values returns a copy of the current row.
+func (r *Rows) Values() []Value {
+	return append([]Value(nil), r.cur...)
+}
+
+// Scan copies the current row into dest, one pointer per column.
+// Supported destinations: *int64, *int, *float64, *string, *bool,
+// *Value and *any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("dsdb: Scan called without a successful Next")
+	}
+	return scanRow(r.cur, r.stmt.cols, dest)
+}
+
+// scanRow copies one row into the destinations (shared by Rows.Scan
+// and Row.Scan).
+func scanRow(vals []Value, cols []string, dest []any) error {
+	if len(dest) != len(vals) {
+		return fmt.Errorf("dsdb: Scan got %d destinations, row has %d columns", len(dest), len(vals))
+	}
+	for i, d := range dest {
+		if err := scanValue(vals[i], d); err != nil {
+			return fmt.Errorf("dsdb: Scan column %d (%s): %w", i, cols[i], err)
+		}
+	}
+	return nil
+}
+
+// scanValue converts one SQL value into a Go destination.
+func scanValue(v Value, dest any) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+		return nil
+	case *any:
+		*d = v
+		return nil
+	case *int64:
+		switch v.T {
+		case value.Int, value.Date, value.Bool:
+			*d = v.I
+			return nil
+		case value.Float:
+			*d = int64(v.F)
+			return nil
+		}
+	case *int:
+		switch v.T {
+		case value.Int, value.Date, value.Bool:
+			*d = int(v.I)
+			return nil
+		case value.Float:
+			*d = int(v.F)
+			return nil
+		}
+	case *float64:
+		switch v.T {
+		case value.Float:
+			*d = v.F
+			return nil
+		case value.Int, value.Date:
+			*d = float64(v.I)
+			return nil
+		}
+	case *string:
+		if v.T != value.Null { // NULL must not stringify silently
+			*d = v.String()
+			return nil
+		}
+	case *bool:
+		if v.T == value.Bool {
+			*d = v.I != 0
+			return nil
+		}
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return fmt.Errorf("cannot scan %s into %T", v.T, dest)
+}
+
+// Err returns the error, if any, that ended iteration. Context
+// cancellation surfaces here as the context's error.
+func (r *Rows) Err() error { return r.err }
+
+// close tears down the execution, keeping the first close error.
+func (r *Rows) close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cur = nil // a Scan after close must fail, not read stale data
+	r.closeErr = r.stmt.plan.Close()
+	if r.err == nil {
+		r.err = r.closeErr
+	}
+	r.stmt.release()
+}
+
+// Close releases the plan's resources. It is idempotent, safe after
+// exhaustion, and required after partial consumption.
+func (r *Rows) Close() error {
+	r.close()
+	return r.closeErr
+}
+
+// Query compiles and executes a query, returning a streaming Rows.
+func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(ctx)
+}
+
+// Row is the result of QueryRow: a single-row wrapper whose Scan
+// reports ErrNoRows when the query matched nothing.
+type Row struct {
+	vals []Value
+	cols []string
+	err  error
+}
+
+// Scan copies the row into dest (see Rows.Scan).
+func (r *Row) Scan(dest ...any) error {
+	if r.err != nil {
+		return r.err
+	}
+	return scanRow(r.vals, r.cols, dest)
+}
+
+// Err returns the deferred query error, if any.
+func (r *Row) Err() error { return r.err }
+
+// QueryRow executes a query expected to return at most one row; the
+// error (including ErrNoRows) is deferred until Scan.
+func (db *DB) QueryRow(ctx context.Context, query string) *Row {
+	rows, err := db.Query(ctx, query)
+	if err != nil {
+		return &Row{err: err}
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		if err := rows.Err(); err != nil {
+			return &Row{err: err}
+		}
+		return &Row{err: ErrNoRows}
+	}
+	return &Row{vals: rows.Values(), cols: rows.Columns()}
+}
+
+// Result is a fully materialized result set.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Exec compiles, executes and materializes a query in one call — the
+// convenience path for workload drivers that don't need streaming.
+func (db *DB) Exec(ctx context.Context, query string) (*Result, error) {
+	rows, err := db.Query(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Values())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package stcpipe
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// ReportParams configures a full paper-evaluation run.
+type ReportParams struct {
+	SF       float64 // TPC-D scale factor (default 0.002)
+	Seed     int64   // generator seed (default 42)
+	Validate bool    // validate traces online against the static CFG
+}
+
+// Report regenerates every table and figure of the paper from one
+// end-to-end run: both TPC-D databases are built, the training and
+// test workloads are traced, and each accessor renders one artifact
+// in the paper's layout. It is the batch counterpart to composing
+// Profile/Layout/Simulate by hand.
+type Report struct {
+	s *experiments.Setup
+}
+
+// NewReport builds the databases and records the training and test
+// traces (the expensive part; the per-table accessors are cheap by
+// comparison).
+func NewReport(p ReportParams) (*Report, error) {
+	if p.SF == 0 {
+		p.SF = 0.002
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	s, err := experiments.NewSetup(experiments.Params{SF: p.SF, Seed: p.Seed, Validate: p.Validate})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{s: s}, nil
+}
+
+// TraceSummary describes the recorded traces in one line.
+func (r *Report) TraceSummary() string {
+	return fmt.Sprintf("training trace: %d block events (%d instrs); test trace: %d (%d)",
+		r.s.TrainTrace.Len(), r.s.TrainTrace.Instrs, r.s.TestTrace.Len(), r.s.TestTrace.Instrs)
+}
+
+// Table1 renders the static-vs-executed footprint table.
+func (r *Report) Table1() string { return experiments.FormatTable1(r.s.Table1()) }
+
+// Figure2 renders the cumulative dynamic-reference curve.
+func (r *Report) Figure2() string { return r.s.FormatFigure2() }
+
+// Reuse renders the Section 4.1 temporal-locality statistics.
+func (r *Report) Reuse() string { return experiments.FormatReuse(r.s.Reuse()) }
+
+// Table2 renders the block-type/predictability classification.
+func (r *Report) Table2() string { return experiments.FormatTable2(r.s.Table2()) }
+
+// Sequentiality renders the instructions-between-taken-branches
+// comparison across layouts.
+func (r *Report) Sequentiality() string {
+	return experiments.FormatSequentiality(r.s.Sequentiality())
+}
+
+// Table3 renders the i-cache miss-rate table over the test trace.
+func (r *Report) Table3() string { return experiments.FormatTable3(r.s.Table3()) }
+
+// Table4 renders the fetch-bandwidth (IPC) table.
+func (r *Report) Table4() string {
+	ideal, rows := r.s.Table4()
+	return experiments.FormatTable4(ideal, rows)
+}
+
+// Ablation renders the STC threshold sweep (4KB cache, 1KB CFA).
+func (r *Report) Ablation() string {
+	return experiments.FormatAblation(
+		r.s.AblationThresholds(experiments.CacheConfig{CacheBytes: 4096, CFABytes: 1024}))
+}
+
+// HottestBlocks lists the n most-executed basic blocks of the
+// training set.
+func (r *Report) HottestBlocks(n int) []BlockStat {
+	return hottestBlocks(r.s.Profile, r.s.Img.Prog, n)
+}

@@ -1,0 +1,489 @@
+// Package stcpipe wraps the paper's Software Trace Cache toolchain as
+// one composable pipeline over the public dsdb API:
+//
+//	pipe := stcpipe.New()
+//	train, _ := pipe.Profile(db, stcpipe.Training()) // traced workload → profile
+//	test, _ := pipe.Profile(db, stcpipe.Test())
+//	lay, _ := train.Layout(stcpipe.STCOps(stcpipe.Params{CacheBytes: 4096, CFABytes: 1024}))
+//	res, _ := test.Simulate(lay, stcpipe.FetchConfig{CacheBytes: 4096})
+//
+// Profile runs an instrumented workload and records the dynamic
+// basic-block trace (the role ATOM instrumentation plays in the
+// paper); Layout applies a pluggable code-reordering algorithm — STC,
+// Pettis & Hansen, Torrellas et al., or the original layout — and
+// Simulate replays a trace through the SEQ.3 fetch unit with a
+// configurable i-cache and optional trace cache.
+package stcpipe
+
+import (
+	"context"
+	"fmt"
+
+	"repro/dsdb"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fetch"
+	"repro/internal/kernel"
+	"repro/internal/layout"
+	"repro/internal/profile"
+	"repro/internal/program"
+	"repro/internal/tpcd"
+)
+
+// Pipeline holds the instrumented kernel image shared by every
+// profile it produces: layouts built from one profile can be
+// simulated against any trace recorded by the same pipeline.
+type Pipeline struct {
+	img      *kernel.Image
+	validate bool
+}
+
+// Option configures New.
+type Option func(*Pipeline)
+
+// Validate makes every recorded trace validate online against the
+// static control-flow graph (slower; used by tests).
+func Validate() Option {
+	return func(p *Pipeline) { p.validate = true }
+}
+
+// New creates a pipeline over a fresh kernel image.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{img: kernel.New(kernel.DefaultConfig())}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Workload is a named list of SQL queries to run while tracing.
+type Workload struct {
+	Name    string
+	Labels  []string // one per query; used as trace marks
+	Queries []string
+}
+
+// SQL builds a workload from ad-hoc query text.
+func SQL(name string, queries ...string) Workload {
+	w := Workload{Name: name, Queries: queries}
+	for i := range queries {
+		w.Labels = append(w.Labels, fmt.Sprintf("%s-%d", name, i+1))
+	}
+	return w
+}
+
+// tpcdWorkload builds a workload from TPC-D query numbers.
+func tpcdWorkload(name string, nums []int) (Workload, error) {
+	w := Workload{Name: name}
+	for _, n := range nums {
+		q, ok := dsdb.TPCDQuery(n)
+		if !ok {
+			return Workload{}, fmt.Errorf("stcpipe: no TPC-D query %d (have %v)", n, dsdb.TPCDQueryNumbers())
+		}
+		w.Labels = append(w.Labels, fmt.Sprintf("%s-Q%d", name, n))
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// mustTPCDWorkload backs the fixed paper sets, whose numbers are
+// known-good by construction.
+func mustTPCDWorkload(name string, nums []int) Workload {
+	w, err := tpcdWorkload(name, nums)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Training returns the paper's training query set (Q3,4,5,6,9).
+func Training() Workload { return mustTPCDWorkload("train", tpcd.TrainingQueries) }
+
+// Test returns the paper's test query set (Q2,3,4,6,11,12,13,14,15,17).
+func Test() Workload { return mustTPCDWorkload("test", tpcd.TestQueries) }
+
+// TPCD builds a workload from explicit TPC-D query numbers, erroring
+// on numbers outside the paper's query set.
+func TPCD(name string, nums ...int) (Workload, error) { return tpcdWorkload(name, nums) }
+
+// Profile is a recorded execution: the dynamic basic-block trace of
+// one or more traced workload runs, and the weighted CFG profile
+// derived from it. It is both the input to Layout (training role) and
+// the trace replayed by Simulate (test role).
+type Profile struct {
+	pipe *Pipeline
+	ses  *kernel.Session
+	prof *profile.Profile // lazily derived from the trace
+}
+
+// Profile runs a workload on db with tracing attached and returns the
+// recorded profile. The database's previous tracer is restored when
+// the run finishes.
+func (p *Pipeline) Profile(db *dsdb.DB, w Workload) (*Profile, error) {
+	pr := &Profile{pipe: p, ses: p.img.NewSession(p.validate)}
+	if err := pr.Run(db, w); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Run traces another workload into the same profile — the paper's
+// test set, for example, runs over both the B-tree and the
+// hash-indexed database within one trace.
+func (pr *Profile) Run(db *dsdb.DB, w Workload) error {
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("stcpipe: workload %q has no queries", w.Name)
+	}
+	// Invalidate the cached derived profile up front: even a run that
+	// fails partway has grown the trace.
+	pr.prof = nil
+	prev := db.Tracer()
+	db.SetTracer(pr.ses)
+	defer db.SetTracer(prev)
+	for i, q := range w.Queries {
+		label := fmt.Sprintf("%s-%d", w.Name, i+1)
+		if i < len(w.Labels) {
+			label = w.Labels[i]
+		}
+		pr.ses.Mark(label)
+		if err := drain(db, q); err != nil {
+			return fmt.Errorf("stcpipe: %s: %w", label, err)
+		}
+		if err := pr.ses.Err(); err != nil {
+			return fmt.Errorf("stcpipe: %s: trace: %w", label, err)
+		}
+	}
+	return nil
+}
+
+// drain streams a query to completion, discarding rows — tracing
+// only needs the execution, not the (possibly large) result set.
+func drain(db *dsdb.DB, q string) error {
+	rows, err := db.Query(context.Background(), q)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+// profileData derives (and caches) the weighted CFG profile.
+func (pr *Profile) profileData() *profile.Profile {
+	if pr.prof == nil {
+		pr.prof = profile.FromTrace(pr.ses.Trace())
+	}
+	return pr.prof
+}
+
+// Events returns the number of recorded basic-block events.
+func (pr *Profile) Events() int { return pr.ses.Trace().Len() }
+
+// Instrs returns the number of dynamic instructions in the trace.
+func (pr *Profile) Instrs() uint64 { return pr.ses.Trace().Instrs }
+
+// FootprintStats is the static-vs-executed footprint (paper Table 1).
+type FootprintStats = profile.FootprintStats
+
+// Footprint computes the static-vs-executed footprint statistics.
+func (pr *Profile) Footprint() FootprintStats { return pr.profileData().Footprint() }
+
+// BlockStat describes one basic block of the executed footprint.
+type BlockStat struct {
+	Name       string
+	Executions uint64
+	Instrs     int
+}
+
+// HottestBlocks lists the n most-executed basic blocks.
+func (pr *Profile) HottestBlocks(n int) []BlockStat {
+	return hottestBlocks(pr.profileData(), pr.pipe.img.Prog, n)
+}
+
+// hottestBlocks shapes a profile's most-executed blocks; shared with
+// Report.HottestBlocks.
+func hottestBlocks(p *profile.Profile, prog *program.Program, n int) []BlockStat {
+	blocks := p.ExecutedBlocks()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(blocks) {
+		n = len(blocks)
+	}
+	out := make([]BlockStat, 0, n)
+	for _, b := range blocks[:n] {
+		blk := prog.Block(b)
+		out = append(out, BlockStat{Name: blk.Name, Executions: p.Weight(b), Instrs: blk.Size})
+	}
+	return out
+}
+
+// Layout is a code layout: an address for every basic block of the
+// kernel image, as produced by one of the reordering algorithms.
+type Layout struct {
+	name string
+	l    *program.Layout
+}
+
+// Name returns the layout's algorithm name.
+func (l *Layout) Name() string { return l.name }
+
+// Addresses returns a copy of the per-block start addresses (indexed
+// by block ID) — useful for comparing what different algorithms did.
+func (l *Layout) Addresses() []uint64 {
+	return append([]uint64(nil), l.l.Addr...)
+}
+
+// Algorithm is a pluggable code-layout strategy.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Build produces a layout from a training profile.
+	Build(pr *Profile) (*Layout, error)
+}
+
+// Layout applies an algorithm to this (training) profile.
+func (pr *Profile) Layout(alg Algorithm) (*Layout, error) {
+	return alg.Build(pr)
+}
+
+// Params configures the greedy sequence-building algorithms (STC and
+// the Torrellas baseline). Zero values select the paper defaults:
+// BranchThreshold 0.4, a 4KB cache with a 1KB conflict-free area, and
+// an execution threshold fitted from the profile.
+type Params struct {
+	ExecThreshold   uint64
+	BranchThreshold float64
+	CacheBytes      int
+	CFABytes        int
+}
+
+// coreParams resolves defaults against a profile.
+func (p Params) coreParams(pr *Profile) (core.Params, bool) {
+	cp := core.Params{
+		ExecThreshold:   p.ExecThreshold,
+		BranchThreshold: p.BranchThreshold,
+		CacheBytes:      p.CacheBytes,
+		CFABytes:        p.CFABytes,
+	}
+	if cp.BranchThreshold == 0 {
+		cp.BranchThreshold = 0.4
+	}
+	if cp.CacheBytes == 0 {
+		cp.CacheBytes = 4096
+	}
+	if cp.CFABytes == 0 {
+		cp.CFABytes = 1024
+	}
+	fitted := cp.ExecThreshold == 0
+	if fitted {
+		// The paper's "most popular blocks" notion, scaled to the
+		// trace length; BuildFitted refines it against the CFA budget.
+		cp.ExecThreshold = pr.profileData().DynBlocks / 20000
+		if cp.ExecThreshold < 4 {
+			cp.ExecThreshold = 4
+		}
+	}
+	return cp, fitted
+}
+
+// algorithm implements Algorithm via a closure.
+type algorithm struct {
+	name  string
+	build func(pr *Profile) (*program.Layout, error)
+}
+
+func (a algorithm) Name() string { return a.name }
+
+func (a algorithm) Build(pr *Profile) (*Layout, error) {
+	l, err := a.build(pr)
+	if err != nil {
+		return nil, err
+	}
+	return &Layout{name: a.name, l: l}, nil
+}
+
+// Original returns the identity layout (the compiler's block order).
+func Original() Algorithm {
+	return algorithm{name: "orig", build: func(pr *Profile) (*program.Layout, error) {
+		return program.OriginalLayout(pr.pipe.img.Prog), nil
+	}}
+}
+
+// PettisHansen returns the Pettis & Hansen basic-block chaining and
+// procedure-ordering baseline.
+func PettisHansen() Algorithm {
+	return algorithm{name: "P&H", build: func(pr *Profile) (*program.Layout, error) {
+		return layout.PettisHansen(pr.profileData()), nil
+	}}
+}
+
+// Torrellas returns the Torrellas et al. cache-mapping baseline.
+func Torrellas(p Params) Algorithm {
+	return algorithm{name: "Torr", build: func(pr *Profile) (*program.Layout, error) {
+		cp, _ := p.coreParams(pr)
+		return layout.Torrellas(pr.profileData(), cp), nil
+	}}
+}
+
+// stc builds the Software Trace Cache layout from a seed set.
+func stc(name string, p Params, seeds func(pr *Profile) []program.BlockID) Algorithm {
+	return algorithm{name: name, build: func(pr *Profile) (*program.Layout, error) {
+		cp, fitted := p.coreParams(pr)
+		prof := pr.profileData()
+		if fitted {
+			return core.BuildFitted(name, prof, seeds(pr), cp), nil
+		}
+		return core.Build(name, prof, seeds(pr), cp), nil
+	}}
+}
+
+// STCAuto returns the Software Trace Cache with automatically
+// selected seeds (the hottest loop-free entry blocks).
+func STCAuto(p Params) Algorithm {
+	return stc("auto", p, func(pr *Profile) []program.BlockID {
+		return core.AutoSeeds(pr.profileData())
+	})
+}
+
+// STCOps returns the Software Trace Cache seeded at the kernel's
+// per-tuple operation entry points, the paper's best variant.
+func STCOps(p Params) Algorithm {
+	return stc("ops", p, func(pr *Profile) []program.BlockID {
+		return core.OpsSeeds(pr.profileData(), kernel.OpsSeedNames)
+	})
+}
+
+// Algorithms returns the paper's five layouts in table order: orig,
+// P&H, Torrellas, STC-auto, STC-ops.
+func Algorithms(p Params) []Algorithm {
+	return []Algorithm{Original(), PettisHansen(), Torrellas(p), STCAuto(p), STCOps(p)}
+}
+
+// FetchConfig parameterizes the SEQ.3 fetch-unit simulation. The zero
+// value is an ideal (always-hit) i-cache with 64-byte lines.
+type FetchConfig struct {
+	// CacheBytes sizes the i-cache; 0 simulates a perfect cache.
+	CacheBytes int
+	// LineBytes is the cache line size (default 64).
+	LineBytes int
+	// Ways selects set associativity; 0 or 1 is direct-mapped.
+	Ways int
+	// VictimEntries adds a fully associative victim cache of that many
+	// lines behind a direct-mapped main cache.
+	VictimEntries int
+	// TraceCacheEntries adds a hardware trace cache in front of the
+	// i-cache (paper Section 7.3); 0 disables it.
+	TraceCacheEntries int
+}
+
+// Result aggregates one fetch simulation (IPC, miss rates, trace
+// cache statistics).
+type Result = fetch.Result
+
+// Simulate replays this profile's trace under a layout through the
+// fetch unit.
+func (pr *Profile) Simulate(l *Layout, fc FetchConfig) (Result, error) {
+	if len(l.l.Addr) != pr.pipe.img.Prog.NumBlocks() {
+		return Result{}, fmt.Errorf("stcpipe: layout %q was built for a different kernel image", l.name)
+	}
+	lineBytes := fc.LineBytes
+	if lineBytes == 0 {
+		lineBytes = cache.DefaultLineBytes
+	}
+	var ic cache.ICache
+	if fc.CacheBytes > 0 {
+		switch {
+		case fc.VictimEntries > 0:
+			ic = cache.NewVictim(fc.CacheBytes, lineBytes, fc.VictimEntries)
+		case fc.Ways > 1:
+			ic = cache.NewSetAssoc(fc.CacheBytes, lineBytes, fc.Ways)
+		default:
+			ic = cache.NewDirectMapped(fc.CacheBytes, lineBytes)
+		}
+	}
+	cfg := fetch.DefaultConfig(ic)
+	cfg.LineBytes = lineBytes
+	if fc.TraceCacheEntries > 0 {
+		cfg.TC = cache.NewTraceCache(fc.TraceCacheEntries, 16, 3, 4)
+	}
+	return fetch.Simulate(pr.ses.Trace(), l.l, cfg), nil
+}
+
+// Sequentiality returns the paper's headline metric under a layout:
+// dynamic instructions executed between taken branches.
+func (pr *Profile) Sequentiality(l *Layout) float64 {
+	return fetch.Sequentiality(pr.ses.Trace(), l.l).InstrPerTaken
+}
+
+// CompareResult is one algorithm's scorecard from Compare.
+type CompareResult struct {
+	Algorithm     string
+	MissPer100    float64
+	IPC           float64
+	InstrPerTaken float64
+}
+
+// CompareParams configures the one-call Compare pipeline.
+type CompareParams struct {
+	SF         float64 // TPC-D scale factor (default 0.001)
+	Seed       int64   // generator seed (default 42)
+	Layout     Params
+	Fetch      FetchConfig
+	Algorithms []Algorithm // default: the paper's five
+}
+
+// Compare runs the whole paper flow in one call: build the B-tree and
+// hash TPC-D databases, profile the training workload, record the
+// test trace over both databases, then lay out and simulate every
+// algorithm. It is the three-call pipeline bundled for convenience.
+func Compare(p CompareParams) ([]CompareResult, error) {
+	if p.SF == 0 {
+		p.SF = 0.001
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Algorithms == nil {
+		p.Algorithms = Algorithms(p.Layout)
+	}
+	btreeDB, err := dsdb.Open(dsdb.WithTPCD(p.SF), dsdb.WithSeed(p.Seed))
+	if err != nil {
+		return nil, err
+	}
+	hashDB, err := dsdb.Open(dsdb.WithTPCD(p.SF), dsdb.WithSeed(p.Seed), dsdb.WithIndexKind(dsdb.Hash))
+	if err != nil {
+		return nil, err
+	}
+	pipe := New()
+	train, err := pipe.Profile(btreeDB, Training())
+	if err != nil {
+		return nil, err
+	}
+	test, err := pipe.Profile(btreeDB, Test())
+	if err != nil {
+		return nil, err
+	}
+	if err := test.Run(hashDB, Test()); err != nil {
+		return nil, err
+	}
+	out := make([]CompareResult, 0, len(p.Algorithms))
+	for _, alg := range p.Algorithms {
+		lay, err := train.Layout(alg)
+		if err != nil {
+			return nil, fmt.Errorf("stcpipe: layout %s: %w", alg.Name(), err)
+		}
+		res, err := test.Simulate(lay, p.Fetch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CompareResult{
+			Algorithm:     alg.Name(),
+			MissPer100:    res.MissesPer100Instr(),
+			IPC:           res.IPC(),
+			InstrPerTaken: test.Sequentiality(lay),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package stcpipe_test
+
+import (
+	"testing"
+
+	"repro/dsdb"
+	"repro/dsdb/stcpipe"
+)
+
+// TestPipelineEndToEnd runs the three-call pipeline at a tiny scale
+// factor with online trace validation: profile the training workload,
+// build every layout algorithm, simulate each — asserting the
+// algorithms produce distinct block orderings and sane fetch results.
+func TestPipelineEndToEnd(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005), dsdb.WithSeed(42))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pipe := stcpipe.New(stcpipe.Validate())
+	train, err := pipe.Profile(db, stcpipe.Training())
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if train.Instrs() == 0 || train.Events() == 0 {
+		t.Fatalf("empty training trace: %d events, %d instrs", train.Events(), train.Instrs())
+	}
+	fp := train.Footprint()
+	if fp.ExecBlocks == 0 || fp.ExecBlocks > fp.TotalBlocks {
+		t.Fatalf("implausible footprint: %+v", fp)
+	}
+
+	params := stcpipe.Params{CacheBytes: 2048, CFABytes: 512}
+	layouts := make(map[string][]uint64)
+	for _, alg := range stcpipe.Algorithms(params) {
+		lay, err := train.Layout(alg)
+		if err != nil {
+			t.Fatalf("Layout(%s): %v", alg.Name(), err)
+		}
+		if lay.Name() != alg.Name() {
+			t.Fatalf("layout name %q, want %q", lay.Name(), alg.Name())
+		}
+		layouts[alg.Name()] = lay.Addresses()
+
+		res, err := train.Simulate(lay, stcpipe.FetchConfig{CacheBytes: 2048})
+		if err != nil {
+			t.Fatalf("Simulate(%s): %v", alg.Name(), err)
+		}
+		if res.Instrs != train.Instrs() {
+			t.Fatalf("%s: simulated %d instrs, trace has %d", alg.Name(), res.Instrs, train.Instrs())
+		}
+		if ipc := res.IPC(); ipc <= 0 {
+			t.Fatalf("%s: IPC = %v, want > 0", alg.Name(), ipc)
+		}
+		if seq := train.Sequentiality(lay); seq <= 0 {
+			t.Fatalf("%s: sequentiality = %v, want > 0", alg.Name(), seq)
+		}
+	}
+
+	// Every algorithm must order the code differently.
+	names := []string{"orig", "P&H", "Torr", "auto", "ops"}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if sameAddrs(layouts[a], layouts[b]) {
+				t.Errorf("algorithms %s and %s produced identical orderings", a, b)
+			}
+		}
+	}
+}
+
+// TestTraceCacheSimulation checks the trace-cache path produces hits
+// on a recorded trace.
+func TestTraceCacheSimulation(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pipe := stcpipe.New()
+	w, err := stcpipe.TPCD("train", 6, 3)
+	if err != nil {
+		t.Fatalf("TPCD: %v", err)
+	}
+	train, err := pipe.Profile(db, w)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	lay, err := train.Layout(stcpipe.Original())
+	if err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	res, err := train.Simulate(lay, stcpipe.FetchConfig{CacheBytes: 2048, TraceCacheEntries: 64})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.TCHits == 0 {
+		t.Fatal("trace cache recorded no hits on a repetitive DBMS trace")
+	}
+}
+
+// TestProfileRunExtends checks that Run extends an existing profile's
+// trace (the test-over-both-databases pattern).
+func TestProfileRunExtends(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	hashDB, err := dsdb.Open(dsdb.WithTPCD(0.0005), dsdb.WithIndexKind(dsdb.Hash))
+	if err != nil {
+		t.Fatalf("Open(hash): %v", err)
+	}
+	pipe := stcpipe.New()
+	w, err := stcpipe.TPCD("w", 6)
+	if err != nil {
+		t.Fatalf("TPCD: %v", err)
+	}
+	pr, err := pipe.Profile(db, w)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	before := pr.Instrs()
+	w2, err := stcpipe.TPCD("w-hash", 6)
+	if err != nil {
+		t.Fatalf("TPCD: %v", err)
+	}
+	if err := pr.Run(hashDB, w2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pr.Instrs() <= before {
+		t.Fatalf("Run did not extend the trace: %d -> %d instrs", before, pr.Instrs())
+	}
+}
+
+// TestWorkloadValidation checks that unknown TPC-D query numbers and
+// empty workloads are rejected rather than silently ignored.
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := stcpipe.TPCD("typo", 7); err == nil {
+		t.Fatal("TPCD accepted nonexistent query 7")
+	}
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := stcpipe.New().Profile(db, stcpipe.Workload{Name: "empty"}); err == nil {
+		t.Fatal("Profile accepted an empty workload")
+	}
+}
+
+func sameAddrs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,7 +1,8 @@
 // layoutcompare runs a TPC-D workload on the instrumented database
 // kernel and compares all five code layouts of the paper — original,
 // Pettis & Hansen, Torrellas, STC-auto and STC-ops — on i-cache miss
-// rate, fetch bandwidth and code sequentiality.
+// rate, fetch bandwidth and code sequentiality, using the one-call
+// stcpipe.Compare pipeline.
 package main
 
 import (
@@ -9,9 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cache"
-	"repro/internal/experiments"
-	"repro/internal/fetch"
+	"repro/dsdb/stcpipe"
 )
 
 func main() {
@@ -20,22 +19,19 @@ func main() {
 	cfaKB := flag.Float64("cfa", 0.5, "conflict-free area size in KB")
 	flag.Parse()
 
-	s, err := experiments.NewSetup(experiments.Params{SF: *sf, Seed: 42})
+	results, err := stcpipe.Compare(stcpipe.CompareParams{
+		SF:     *sf,
+		Layout: stcpipe.Params{CacheBytes: *cacheKB * 1024, CFABytes: int(*cfaKB * 1024)},
+		Fetch:  stcpipe.FetchConfig{CacheBytes: *cacheKB * 1024},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cc := experiments.CacheConfig{CacheBytes: *cacheKB * 1024, CFABytes: int(*cfaKB * 1024)}
-	layouts := s.Layouts(cc)
 
-	fmt.Printf("%dKB direct-mapped cache, %.2gKB CFA, test trace: %d instructions\n\n",
-		*cacheKB, *cfaKB, s.TestTrace.Instrs)
+	fmt.Printf("%dKB direct-mapped cache, %.2gKB CFA\n\n", *cacheKB, *cfaKB)
 	fmt.Printf("%-6s %12s %10s %14s\n", "layout", "miss/100", "IPC", "instrs/taken")
-	for _, name := range experiments.LayoutNames {
-		l := layouts[name]
-		ic := cache.NewDirectMapped(cc.CacheBytes, cache.DefaultLineBytes)
-		res := fetch.Simulate(s.TestTrace, l, fetch.DefaultConfig(ic))
-		seq := fetch.Sequentiality(s.TestTrace, l)
+	for _, r := range results {
 		fmt.Printf("%-6s %12.3f %10.2f %14.1f\n",
-			name, res.MissesPer100Instr(), res.IPC(), seq.InstrPerTaken)
+			r.Algorithm, r.MissPer100, r.IPC, r.InstrPerTaken)
 	}
 }

@@ -1,83 +1,79 @@
-// Quickstart: build the paper's Figure 3 weighted control-flow graph,
-// run the Software Trace Cache sequence builder on it, and print the
-// resulting main and secondary traces — the worked example of
-// Section 5.2.
+// Quickstart for the public API: open a TPC-D database, stream a
+// query through the database/sql-style Rows iterator, then run the
+// paper's whole Software Trace Cache flow — profile the training
+// workload, build the STC layout, simulate the fetch unit — in three
+// calls on the stcpipe pipeline.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/profile"
-	"repro/internal/program"
+	"repro/dsdb"
+	"repro/dsdb/stcpipe"
 )
 
 func main() {
-	// The Figure 3 graph: nodes A1..A8, B1, C5 with the paper's weights
-	// (x10 to integers) and branch probabilities.
-	b := program.NewBuilder()
-	f := b.Proc("A", "fig3")
-	f.Fall("A1", 4)
-	f.Cond("A2", 4, "B1")
-	f.Cond("A3", 4, "A5")
-	f.Cond("A4", 4, "A6")
-	f.Cond("A5", 4, "A7")
-	f.Fall("A6", 4)
-	f.Fall("A7", 4)
-	f.Cond("A8", 4, "C5")
-	f.Fall("B1", 8)
-	f.Ret("C5", 8)
-	prog, err := b.Build()
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.001, "TPC-D scale factor")
+	flag.Parse()
+
+	// 1. Open a deterministic TPC-D database.
+	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	pr := profile.New(prog)
-	weights := map[string]uint64{
-		"A1": 100, "A2": 100, "A3": 100, "A4": 60, "A5": 45,
-		"A6": 24, "A7": 76, "A8": 100, "B1": 10, "C5": 30,
+	// 2. Stream TPC-D Q6 (the paper's simplest query) tuple by tuple.
+	q6, _ := dsdb.TPCDQuery(6)
+	rows, err := db.Query(context.Background(), q6)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for name, w := range weights {
-		pr.BlockCount[prog.MustBlock("A."+name)] = w
-	}
-	edge := func(from, to string, c uint64) {
-		pr.EdgeCount[profile.Edge{From: prog.MustBlock("A." + from), To: prog.MustBlock("A." + to)}] = c
-	}
-	edge("A1", "A2", 100)
-	edge("A2", "A3", 90)
-	edge("A2", "B1", 10)
-	edge("A3", "A4", 55)
-	edge("A3", "A5", 45)
-	edge("A4", "A7", 36)
-	edge("A4", "A6", 24)
-	edge("A5", "A7", 45)
-	edge("A6", "A7", 24)
-	edge("A7", "A8", 76)
-	edge("A8", "A6", 35)
-	edge("A8", "B1", 35)
-	edge("A8", "C5", 30)
-
-	params := core.Params{ExecThreshold: 40, BranchThreshold: 0.4,
-		CacheBytes: 1024, CFABytes: 256}
-	visited := make([]bool, prog.NumBlocks())
-	seqs := core.BuildSequences(pr, []program.BlockID{prog.MustBlock("A.A1")}, params, visited)
-
-	fmt.Println("Software Trace Cache sequence building (paper Figure 3)")
-	fmt.Printf("ExecThreshold=%d BranchThreshold=%.1f, seed A1\n\n", params.ExecThreshold, params.BranchThreshold)
-	for i, s := range seqs {
-		kind := "main trace"
-		if s.Secondary {
-			kind = "secondary"
+	fmt.Println("TPC-D Q6:")
+	for rows.Next() {
+		var revenue float64
+		if err := rows.Scan(&revenue); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("sequence %d (%s): ", i+1, kind)
-		for j, blk := range s.Blocks {
-			if j > 0 {
-				fmt.Print(" -> ")
-			}
-			fmt.Print(prog.Block(blk).Name)
-		}
-		fmt.Println()
+		fmt.Printf("  revenue = %.2f\n", revenue)
 	}
-	fmt.Println("\ndiscarded: B1, C5 (branch threshold), A6 (exec threshold)")
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+
+	// 3. The paper's toolchain in three calls: Profile → Layout →
+	// Simulate.
+	pipe := stcpipe.New()
+	train, err := pipe.Profile(db, stcpipe.Training())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lay, err := train.Layout(stcpipe.STCOps(stcpipe.Params{CacheBytes: 4096, CFABytes: 1024}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := train.Layout(stcpipe.Original())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := train.Simulate(lay, stcpipe.FetchConfig{CacheBytes: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := train.Simulate(orig, stcpipe.FetchConfig{CacheBytes: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fp := train.Footprint()
+	fmt.Printf("\ntraining trace: %d instructions over %d of %d static blocks\n",
+		train.Instrs(), fp.ExecBlocks, fp.TotalBlocks)
+	fmt.Printf("4KB i-cache, original layout:  %6.3f misses/100 instrs, IPC %.2f, %5.1f instrs between taken branches\n",
+		base.MissesPer100Instr(), base.IPC(), train.Sequentiality(orig))
+	fmt.Printf("4KB i-cache, STC (ops) layout: %6.3f misses/100 instrs, IPC %.2f, %5.1f instrs between taken branches\n",
+		res.MissesPer100Instr(), res.IPC(), train.Sequentiality(lay))
 }

@@ -9,9 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cache"
-	"repro/internal/experiments"
-	"repro/internal/fetch"
+	"repro/dsdb"
+	"repro/dsdb/stcpipe"
 )
 
 func main() {
@@ -19,37 +18,51 @@ func main() {
 	entries := flag.Int("entries", 64, "trace cache entries (paper: 256)")
 	flag.Parse()
 
-	s, err := experiments.NewSetup(experiments.Params{SF: *sf, Seed: 42})
+	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cc := experiments.CacheConfig{CacheBytes: 4096, CFABytes: 1024}
-	layouts := s.Layouts(cc)
-	orig, ops := layouts["orig"], layouts["ops"]
+	pipe := stcpipe.New()
+	train, err := pipe.Profile(db, stcpipe.Training())
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := pipe.Profile(db, stcpipe.Test())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := stcpipe.Params{CacheBytes: 4096, CFABytes: 1024}
+	orig, err := train.Layout(stcpipe.Original())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops, err := train.Layout(stcpipe.STCOps(params))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	configs := []struct {
 		name   string
-		layout string
+		layout *stcpipe.Layout
 		tc     bool
 	}{
-		{"original layout", "orig", false},
-		{"STC (ops) layout", "ops", false},
-		{"trace cache, original layout", "orig", true},
-		{"trace cache + STC (ops)", "ops", true},
+		{"original layout", orig, false},
+		{"STC (ops) layout", ops, false},
+		{"trace cache, original layout", orig, true},
+		{"trace cache + STC (ops)", ops, true},
 	}
 	fmt.Printf("4KB i-cache; %d-entry trace cache; test trace %d instrs\n\n",
-		*entries, s.TestTrace.Instrs)
+		*entries, test.Instrs())
 	fmt.Printf("%-32s %8s %10s %10s\n", "configuration", "IPC", "TC hits", "TC miss")
 	for _, c := range configs {
-		l := orig
-		if c.layout == "ops" {
-			l = ops
-		}
-		cfg := fetch.DefaultConfig(cache.NewDirectMapped(cc.CacheBytes, cache.DefaultLineBytes))
+		fc := stcpipe.FetchConfig{CacheBytes: 4096}
 		if c.tc {
-			cfg.TC = cache.NewTraceCache(*entries, 16, 3, 4)
+			fc.TraceCacheEntries = *entries
 		}
-		res := fetch.Simulate(s.TestTrace, l, cfg)
+		res, err := test.Simulate(c.layout, fc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-32s %8.2f %10d %10d\n", c.name, res.IPC(), res.TCHits, res.TCMisses)
 	}
 }

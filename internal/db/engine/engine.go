@@ -145,24 +145,30 @@ func (db *DB) HashFor(ix *catalog.Index) *access.HashIndex { return db.hashes[ix
 // Flush writes back all dirty pages (call after loading).
 func (db *DB) Flush() error { return db.Buf.FlushAll() }
 
-// Run executes a plan to completion and returns the result rows.
-func Run(plan executor.Node) ([]executor.Tuple, error) {
-	if err := plan.Open(); err != nil {
+// Run executes a plan to completion and returns the result rows. The
+// plan is always closed — including when Open or Next fail partway —
+// so executor nodes never leak scans or buffered state; node Close
+// methods are idempotent, making the unconditional defer safe even
+// when Open failed after opening only some children.
+func Run(plan executor.Node) (out []executor.Tuple, err error) {
+	defer func() {
+		if cerr := plan.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err = plan.Open(); err != nil {
 		return nil, err
 	}
-	var out []executor.Tuple
 	for {
-		tup, ok, err := plan.Next()
-		if err != nil {
-			plan.Close()
-			return nil, err
+		tup, ok, nerr := plan.Next()
+		if nerr != nil {
+			return nil, nerr
 		}
 		if !ok {
-			break
+			return out, nil
 		}
 		out = append(out, tup)
 	}
-	return out, plan.Close()
 }
 
 // NewCtx returns an executor context bound to the given tracer.

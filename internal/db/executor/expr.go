@@ -23,6 +23,11 @@ type Tuple []value.Value
 // and scratch space. A nil-tracer context is valid and untraced.
 type Ctx struct {
 	Tr probe.Tracer
+	// Interrupt, when non-nil, is polled on every inter-node call of
+	// the Volcano dispatcher; a non-nil return aborts execution with
+	// that error. It is how context cancellation reaches the executor
+	// even inside pipeline-breaking operators (Sort, HashJoin build).
+	Interrupt func() error
 }
 
 // NewCtx returns an execution context with the given tracer (nil means

@@ -96,12 +96,14 @@ func (n *NestLoop) Next() (Tuple, bool, error) {
 	}
 }
 
-// Close implements Node.
+// Close implements Node. Both children are always closed, even when
+// the first close fails; the first error wins. Close is idempotent.
 func (n *NestLoop) Close() error {
-	if err := n.Outer.Close(); err != nil {
-		return err
+	err := n.Outer.Close()
+	if ierr := n.Inner.Close(); err == nil {
+		err = ierr
 	}
-	return n.Inner.Close()
+	return err
 }
 
 // Schema implements Node.
@@ -357,14 +359,16 @@ func (h *HashJoin) Next() (Tuple, bool, error) {
 	}
 }
 
-// Close implements Node.
+// Close implements Node. Both children are always closed, even when
+// the first close fails; the first error wins. Close is idempotent.
 func (h *HashJoin) Close() error {
 	h.table = nil
 	h.built = false
-	if err := h.Outer.Close(); err != nil {
-		return err
+	err := h.Outer.Close()
+	if ierr := h.Inner.Close(); err == nil {
+		err = ierr
 	}
-	return h.Inner.Close()
+	return err
 }
 
 // Schema implements Node.
@@ -519,12 +523,15 @@ func (m *MergeJoin) Next() (Tuple, bool, error) {
 	}
 }
 
-// Close implements Node.
+// Close implements Node. Both children are always closed, even when
+// the first close fails; the first error wins. Close is idempotent.
 func (m *MergeJoin) Close() error {
-	if err := m.Outer.Close(); err != nil {
-		return err
+	m.group = nil
+	err := m.Outer.Close()
+	if ierr := m.Inner.Close(); err == nil {
+		err = ierr
 	}
-	return m.Inner.Close()
+	return err
 }
 
 // Schema implements Node.

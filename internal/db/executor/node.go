@@ -22,6 +22,11 @@ type Node interface {
 // probes — the per-tuple call chain that gives DBMS code its long,
 // loop-free instruction sequences.
 func (c *Ctx) child(call, cont probe.ID, n Node) (Tuple, bool, error) {
+	if c.Interrupt != nil {
+		if err := c.Interrupt(); err != nil {
+			return nil, false, err
+		}
+	}
 	c.Tr.Emit(call)
 	c.Tr.Emit(probe.ExecProcEnter)
 	t, ok, err := n.Next()

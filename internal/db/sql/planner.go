@@ -697,14 +697,22 @@ func joinedSchema(l, r *catalog.Schema) *catalog.Schema {
 	return catalog.NewSchema(cols...)
 }
 
-// Exec parses, plans and runs a query in one call.
-func Exec(db *engine.DB, c *executor.Ctx, query string) ([]executor.Tuple, *catalog.Schema, error) {
+// Compile parses and plans a query without running it — the
+// parse/plan-once half of a prepared statement. The returned plan can
+// be executed repeatedly (executor nodes reset on Open), but holds
+// mutable state and must not be run concurrently.
+func Compile(db *engine.DB, c *executor.Ctx, query string) (executor.Node, error) {
 	st, err := Parse(query)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	pl := &Planner{DB: db, C: c}
-	plan, err := pl.Plan(st)
+	return pl.Plan(st)
+}
+
+// Exec parses, plans and runs a query in one call.
+func Exec(db *engine.DB, c *executor.Ctx, query string) ([]executor.Tuple, *catalog.Schema, error) {
+	plan, err := Compile(db, c, query)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -168,28 +168,38 @@ var indexPlan = []struct {
 	{"lineitem", "l_shipdate", false},
 }
 
-// Build generates and loads a complete database, building indices
-// after the load (bulk-load order, as dbgen + CREATE INDEX would).
-func Build(cfg Config) (*engine.DB, error) {
-	db := engine.Open(cfg.BufferFrames)
+// TableNames lists the 8 TPC-D tables in load order.
+var TableNames = []string{"region", "nation", "supplier", "customer",
+	"part", "partsupp", "orders", "lineitem"}
+
+// Load generates the TPC-D schema and data into an existing (empty)
+// database, building indices after the load (bulk-load order, as
+// dbgen + CREATE INDEX would). Generation is deterministic: the same
+// Config.Seed always produces an identical database.
+func Load(db *engine.DB, cfg Config) error {
 	schemas := Schemas()
-	for _, t := range []string{"region", "nation", "supplier", "customer",
-		"part", "partsupp", "orders", "lineitem"} {
+	for _, t := range TableNames {
 		if _, err := db.CreateTable(t, schemas[t]); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if err := load(db, cfg, rng); err != nil {
-		return nil, err
+		return err
 	}
 	for _, ix := range indexPlan {
-		kind := cfg.Indexes
-		if err := db.CreateIndex(ix.table, ix.column, kind, ix.unique); err != nil {
-			return nil, err
+		if err := db.CreateIndex(ix.table, ix.column, cfg.Indexes, ix.unique); err != nil {
+			return err
 		}
 	}
-	if err := db.Flush(); err != nil {
+	return db.Flush()
+}
+
+// Build generates and loads a complete database into a fresh engine
+// instance sized by Config.BufferFrames.
+func Build(cfg Config) (*engine.DB, error) {
+	db := engine.Open(cfg.BufferFrames)
+	if err := Load(db, cfg); err != nil {
 		return nil, err
 	}
 	return db, nil
