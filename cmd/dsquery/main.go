@@ -24,6 +24,7 @@ func main() {
 	text := flag.String("sql", "", "ad-hoc SQL text (overrides -q)")
 	hash := flag.Bool("hash", false, "use the hash-indexed database instead of Btree")
 	seed := flag.Int64("seed", 42, "generator seed")
+	parallel := flag.Int("parallel", 1, "partition-parallel scan workers (1 = serial)")
 	flag.Parse()
 
 	query := *text
@@ -39,7 +40,8 @@ func main() {
 		kind = dsdb.Hash
 	}
 	fmt.Fprintf(os.Stderr, "loading TPC-D (SF=%g, %s indices)...\n", *sf, kind)
-	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind), dsdb.WithSeed(*seed))
+	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
+		dsdb.WithSeed(*seed), dsdb.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,4 +66,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
+	if *parallel > 1 {
+		fmt.Fprintf(os.Stderr, "(parallel workers: %d probe events outside the session trace)\n",
+			db.WorkerProbeEvents())
+	}
 }

@@ -19,10 +19,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	validate := flag.Bool("validate", false, "validate traces against the static CFG while recording")
 	only := flag.String("only", "", "run a single experiment: table1|figure2|reuse|table2|table3|table4|seq|ablation")
+	parallel := flag.Int("parallel", 1, "partition-parallel scan workers while tracing (1 = the paper's serial plans)")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "building databases and traces (SF=%g)...\n", *sf)
-	r, err := stcpipe.NewReport(stcpipe.ReportParams{SF: *sf, Seed: *seed, Validate: *validate})
+	fmt.Fprintf(os.Stderr, "building databases and traces (SF=%g, parallelism=%d)...\n", *sf, *parallel)
+	r, err := stcpipe.NewReport(stcpipe.ReportParams{
+		SF: *sf, Seed: *seed, Validate: *validate, Parallelism: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}

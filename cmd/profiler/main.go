@@ -2,6 +2,12 @@
 // instrumented kernel and prints the weighted-CFG profile summary:
 // footprint, hottest blocks and procedures, and type breakdown
 // (Section 4 of the paper).
+//
+// With -sessions N (N > 1) it profiles a multi-session workload
+// instead: N concurrent clients each run the training set against one
+// shared database, every session recording its own trace, and the
+// interleaved trace is profiled — the concurrency measurement
+// scenario for the paper's fetch models.
 package main
 
 import (
@@ -9,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/dsdb"
 	"repro/dsdb/stcpipe"
 )
 
@@ -16,7 +23,13 @@ func main() {
 	log.SetFlags(0)
 	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
 	top := flag.Int("top", 20, "number of hottest blocks to list")
+	sessions := flag.Int("sessions", 1, "concurrent sessions to profile (1 = the paper's serial run)")
 	flag.Parse()
+
+	if *sessions > 1 {
+		profileConcurrent(*sf, *sessions, *top)
+		return
+	}
 
 	r, err := stcpipe.NewReport(stcpipe.ReportParams{SF: *sf, Seed: 42})
 	if err != nil {
@@ -26,9 +39,36 @@ func main() {
 	fmt.Println()
 	fmt.Print(r.Table2())
 	fmt.Println()
-	fmt.Printf("hottest %d basic blocks (training set):\n", *top)
-	for i, b := range r.HottestBlocks(*top) {
+	printHottest("training set", r.HottestBlocks(*top))
+}
+
+// printHottest renders the hottest-block listing shared by the serial
+// and concurrent summaries.
+func printHottest(what string, blocks []stcpipe.BlockStat) {
+	fmt.Printf("hottest %d basic blocks (%s):\n", len(blocks), what)
+	for i, b := range blocks {
 		fmt.Printf("%4d. %-28s %10d executions (%d instrs)\n",
 			i+1, b.Name, b.Executions, b.Instrs)
 	}
+}
+
+// profileConcurrent traces the training workload run by n concurrent
+// sessions against one shared database and prints the footprint and
+// hottest blocks of the interleaved trace.
+func profileConcurrent(sf float64, n, top int) {
+	db, err := dsdb.Open(dsdb.WithTPCD(sf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := stcpipe.New()
+	pr, err := pipe.ProfileConcurrent(db, n, stcpipe.Training())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d concurrent sessions, interleaved trace: %d block events, %d instrs\n",
+		n, pr.Events(), pr.Instrs())
+	fp := pr.Footprint()
+	fmt.Printf("executed footprint: %.1f%% of procedures, %.1f%% of blocks, %.1f%% of instructions\n",
+		fp.PctProcs(), fp.PctBlocks(), fp.PctInstrs())
+	printHottest(fmt.Sprintf("%d-session training set", n), pr.HottestBlocks(top))
 }

@@ -7,15 +7,23 @@
 //
 //   - repro/dsdb — a database/sql-style API over the instrumented
 //     database kernel: Open with functional options (buffer pool,
-//     index kind, TPC-D preload, tracer attachment), streaming Query
-//     with context cancellation, QueryRow/Exec/Prepare, and DDL
-//     passthroughs.
+//     index kind, TPC-D preload, tracer attachment, scan
+//     parallelism), streaming Query with context cancellation,
+//     QueryRow/Exec/Prepare, and DDL passthroughs. A DB is safe for
+//     concurrent sessions — queries run under a shared engine latch
+//     (writes exclusive), every execution owns its context, and
+//     WithParallelism(n) fans sequential scans out over page-range
+//     partitions merged back in page order, so parallel plans return
+//     exactly their serial results.
 //   - repro/dsdb/stcpipe — the paper's toolchain as one composable
 //     pipeline: Profile (traced workload → weighted CFG), Layout
 //     (pluggable algorithms: STC, Pettis & Hansen, Torrellas,
 //     original) and Simulate (SEQ.3 fetch unit with i-cache and
 //     trace-cache models), plus Report for regenerating every table
-//     and figure of the paper.
+//     and figure of the paper. ProfileConcurrent traces N concurrent
+//     sessions against one database, interleaving their per-session
+//     traces at query boundaries — instruction fetch under
+//     multi-session DSS traffic as a first-class scenario.
 //
 // Everything under internal/ — the storage manager, buffer manager,
 // B-tree/hash access methods, Volcano executor, SQL front end, TPC-D

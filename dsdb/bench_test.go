@@ -1,0 +1,80 @@
+package dsdb_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/dsdb"
+)
+
+// benchQuery is an aggregation over an unindexed lineitem predicate,
+// so it plans a (parallelizable) sequential scan with per-tuple
+// qualifier and arithmetic work — the shape partition parallelism is
+// for.
+const benchQuery = `select sum(l_extendedprice * l_discount), count(*)
+	from lineitem where l_quantity < 24 and l_discount > 0.02`
+
+// benchOpen loads one shared database across all benchmarks (loading
+// dominates otherwise) and retunes its parallelism per caller.
+var benchDB = sync.OnceValues(func() (*dsdb.DB, error) {
+	return dsdb.Open(dsdb.WithTPCD(0.01))
+})
+
+func benchOpen(b *testing.B, parallelism int) *dsdb.DB {
+	b.Helper()
+	db, err := benchDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.SetParallelism(parallelism)
+	return db
+}
+
+// benchmarkQuery runs the scan-heavy query end to end (compile,
+// execute, materialize) at one parallelism degree. Compare with
+// benchstat:
+//
+//	go test ./dsdb -bench 'BenchmarkQuery' -count 10 | benchstat -
+func benchmarkQuery(b *testing.B, parallelism int) {
+	db := benchOpen(b, parallelism)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(context.Background(), benchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkQuerySerial(b *testing.B) { benchmarkQuery(b, 1) }
+
+func BenchmarkQueryParallel2(b *testing.B) { benchmarkQuery(b, 2) }
+
+func BenchmarkQueryParallel4(b *testing.B) { benchmarkQuery(b, 4) }
+
+func BenchmarkQueryParallel8(b *testing.B) { benchmarkQuery(b, 8) }
+
+// BenchmarkConcurrentSessions measures whole-DB throughput with one
+// session per CPU issuing the mixed TPC-D workload (b.RunParallel
+// reports ns per completed query).
+func BenchmarkConcurrentSessions(b *testing.B) {
+	db := benchOpen(b, 1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			n := concurrencyQueries[i%len(concurrencyQueries)]
+			i++
+			q, _ := dsdb.TPCDQuery(n)
+			if _, err := db.Exec(context.Background(), q); err != nil {
+				b.Error(fmt.Errorf("Q%d: %w", n, err))
+				return
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ package dsdb
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/db/catalog"
 	"repro/internal/db/engine"
@@ -75,12 +76,13 @@ type Tracer = probe.Tracer
 
 // config collects the Open options.
 type config struct {
-	frames   int
-	indexes  IndexKind
-	tracer   Tracer
-	seed     int64
-	tpcdSF   float64
-	loadTPCD bool
+	frames      int
+	indexes     IndexKind
+	tracer      Tracer
+	seed        int64
+	tpcdSF      float64
+	loadTPCD    bool
+	parallelism int
 }
 
 // Option configures Open.
@@ -122,12 +124,37 @@ func WithSeed(seed int64) Option {
 	return func(c *config) { c.seed = seed }
 }
 
-// DB is one open database. The engine is single-threaded by design
-// (it models the paper's instrumented PostgreSQL backend); a DB and
-// its statements must not be used from multiple goroutines at once.
+// WithParallelism lets the planner fan sequential scans out over n
+// partition workers (default 1: serial). Partitions are merged in
+// page order, so a parallel query returns exactly the rows — in
+// exactly the order — its serial plan would; only the timing changes.
+// Parallel scan workers run untraced (the instrumentation session
+// models one instruction stream); use serial queries, or separate
+// sessions via QueryTraced, when recording traces.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// DB is one open database, safe for concurrent use: any number of
+// goroutines may call Query, QueryRow, Exec and Prepare at once, each
+// execution getting its own executor context. Queries hold the
+// engine latch shared — the latch prefers readers, so nested queries
+// from a goroutine that is mid-iteration are fine. Insert,
+// CreateTable and CreateIndex take the latch exclusively: writes wait
+// for every open result set to close (always Close your Rows) and
+// must not be issued from a goroutine that is itself mid-iteration.
+// An individual Stmt or Rows remains single-threaded: share the DB,
+// not the statement.
 type DB struct {
-	eng    *engine.DB
-	tracer Tracer
+	eng *engine.DB
+
+	mu          sync.Mutex // guards tracer and parallelism
+	tracer      Tracer
+	parallelism int
+
+	// workerCounts accumulates probe events from parallel-scan
+	// workers, whose kernel work runs outside the session trace.
+	workerCounts *probe.CountingTracer
 }
 
 // Open creates a database configured by the given options.
@@ -139,7 +166,12 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.frames <= 0 {
 		return nil, fmt.Errorf("dsdb: buffer pool must have at least 1 frame, got %d", cfg.frames)
 	}
-	db := &DB{eng: engine.Open(cfg.frames), tracer: cfg.tracer}
+	db := &DB{
+		eng:          engine.Open(cfg.frames),
+		tracer:       cfg.tracer,
+		parallelism:  cfg.parallelism,
+		workerCounts: probe.NewCountingTracer(),
+	}
 	if cfg.loadTPCD {
 		// BufferFrames is not set: the engine is already sized above;
 		// tpcd.Load fills an existing engine.
@@ -158,10 +190,37 @@ func Open(opts ...Option) (*DB, error) {
 // SetTracer attaches (or, with nil, detaches) the instrumentation
 // tracer. The tracer is bound into statements when they are compiled,
 // so it affects subsequent Query/Prepare calls, not open statements.
-func (db *DB) SetTracer(t Tracer) { db.tracer = t }
+// A tracer set here is shared by every new statement and is itself
+// single-threaded; concurrent sessions that each need their own trace
+// should bind per-session tracers with PrepareTraced/QueryTraced
+// instead.
+func (db *DB) SetTracer(t Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+}
 
 // Tracer returns the currently attached tracer (nil when untraced).
-func (db *DB) Tracer() Tracer { return db.tracer }
+func (db *DB) Tracer() Tracer {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tracer
+}
+
+// SetParallelism changes the scan parallelism bound into subsequent
+// Query/Prepare calls (see WithParallelism).
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.parallelism = n
+}
+
+// WorkerProbeEvents returns the cumulative number of kernel
+// instrumentation events emitted by parallel-scan workers since Open.
+// Worker-side work runs outside the (single-threaded) session trace;
+// this counter is how it stays visible — 0 means every scan ran
+// serially.
+func (db *DB) WorkerProbeEvents() uint64 { return db.workerCounts.Total() }
 
 // CreateTable registers a table with the given columns.
 func (db *DB) CreateTable(name string, cols ...Column) error {
@@ -184,7 +243,11 @@ func (db *DB) Insert(table string, row ...Value) error {
 }
 
 // NumRows returns a table's loaded cardinality.
-func (db *DB) NumRows(table string) int { return db.eng.NumRows(table) }
+func (db *DB) NumRows(table string) int {
+	release := db.eng.BeginRead()
+	defer release()
+	return db.eng.NumRows(table)
+}
 
 // Close flushes all dirty pages. The DB is in-memory; Close exists
 // for database/sql symmetry and future durable backends.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/db/executor"
 	"repro/internal/db/sql"
@@ -20,19 +21,50 @@ var ErrStmtBusy = errors.New("dsdb: statement is busy (close the previous Rows f
 // Stmt is a prepared statement: the query is parsed and planned once
 // and the compiled plan is cached across executions (executor nodes
 // reset on re-open). A Stmt holds mutable execution state and must
-// not be run concurrently with itself.
+// not be run concurrently with itself — concurrent sessions each
+// prepare their own statements against the shared DB. Re-executing a
+// busy statement fails fast with ErrStmtBusy (detected atomically, so
+// even misuse from two goroutines errors rather than races).
 type Stmt struct {
-	db    *DB
-	query string
-	c     *executor.Ctx
-	plan  executor.Node
-	cols  []string
-	busy  bool
+	db      *DB
+	query   string
+	c       *executor.Ctx
+	plan    executor.Node
+	cols    []string
+	busy    atomic.Bool
+	unlatch func() // releases the engine read latch of the running execution
 }
 
-// Prepare parses and plans a query for repeated execution.
+// Prepare parses and plans a query for repeated execution, binding
+// the DB-wide tracer and parallelism at compile time.
 func (db *DB) Prepare(query string) (*Stmt, error) {
-	c := executor.NewCtx(db.tracer)
+	db.mu.Lock()
+	tr, par := db.tracer, db.parallelism
+	db.mu.Unlock()
+	return db.prepare(tr, par, query)
+}
+
+// PrepareTraced is Prepare with an explicit per-statement tracer,
+// overriding the DB-wide one. It is how concurrent sessions record
+// independent instruction traces against one database: give each
+// session its own tracer and its own statements.
+func (db *DB) PrepareTraced(tr Tracer, query string) (*Stmt, error) {
+	db.mu.Lock()
+	par := db.parallelism
+	db.mu.Unlock()
+	return db.prepare(tr, par, query)
+}
+
+// prepare compiles under the shared engine latch: planning reads the
+// catalog and access-method maps, which DDL mutates exclusively.
+func (db *DB) prepare(tr Tracer, parallelism int, query string) (*Stmt, error) {
+	release := db.eng.BeginRead()
+	defer release()
+	c := executor.NewCtx(tr)
+	c.Parallelism = parallelism
+	if parallelism > 1 {
+		c.WorkerTracer = db.workerCounts
+	}
 	plan, err := sql.Compile(db.eng, c, query)
 	if err != nil {
 		return nil, err
@@ -53,13 +85,15 @@ func (s *Stmt) Columns() []string { return append([]string(nil), s.cols...) }
 // operators (sort loads, hash-join builds): cancellation surfaces as
 // the context's error from Rows.Err.
 func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
-	if s.busy {
+	if !s.busy.CompareAndSwap(false, true) {
 		return nil, ErrStmtBusy
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.busy = true
+	// Hold the engine latch shared for the whole execution: writers
+	// (Insert, DDL) wait until this result set closes.
+	s.unlatch = s.db.eng.BeginRead()
 	s.c.Interrupt = ctx.Err
 	if err := s.plan.Open(); err != nil {
 		s.plan.Close()
@@ -69,15 +103,20 @@ func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
 	return &Rows{stmt: s, ctx: ctx}, nil
 }
 
-// release detaches the statement from a finished execution.
+// release detaches the statement from a finished execution and drops
+// the engine latch.
 func (s *Stmt) release() {
 	s.c.Interrupt = nil
-	s.busy = false
+	if s.unlatch != nil {
+		s.unlatch()
+		s.unlatch = nil
+	}
+	s.busy.Store(false)
 }
 
 // Close releases the statement. It fails if a Rows is still open.
 func (s *Stmt) Close() error {
-	if s.busy {
+	if s.busy.Load() {
 		return ErrStmtBusy
 	}
 	return nil
@@ -243,6 +282,17 @@ func (r *Rows) Close() error {
 // Query compiles and executes a query, returning a streaming Rows.
 func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
 	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(ctx)
+}
+
+// QueryTraced is Query with an explicit per-call tracer (see
+// PrepareTraced): the way a concurrent session records its own
+// instruction trace without touching the DB-wide tracer.
+func (db *DB) QueryTraced(ctx context.Context, tr Tracer, query string) (*Rows, error) {
+	stmt, err := db.PrepareTraced(tr, query)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,10 @@ type ReportParams struct {
 	SF       float64 // TPC-D scale factor (default 0.002)
 	Seed     int64   // generator seed (default 42)
 	Validate bool    // validate traces online against the static CFG
+	// Parallelism > 1 runs the traced workloads with
+	// partition-parallel scans (the concurrency measurement scenario);
+	// 0 or 1 reproduces the paper's serial plans.
+	Parallelism int
 }
 
 // Report regenerates every table and figure of the paper from one
@@ -32,7 +36,8 @@ func NewReport(p ReportParams) (*Report, error) {
 	if p.Seed == 0 {
 		p.Seed = 42
 	}
-	s, err := experiments.NewSetup(experiments.Params{SF: p.SF, Seed: p.Seed, Validate: p.Validate})
+	s, err := experiments.NewSetup(experiments.Params{
+		SF: p.SF, Seed: p.Seed, Validate: p.Validate, Parallelism: p.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+package stcpipe_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/dsdb/stcpipe"
+)
+
+// Regenerate the golden files after an intentional formatting change:
+//
+//	go test ./dsdb/stcpipe -run TestReportGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the Report golden files under testdata/")
+
+// goldenReport builds one shared Report for all golden checks — the
+// expensive part (databases + traces) runs once. The tiny SF and
+// fixed seed make every table deterministic.
+var goldenReport = sync.OnceValues(func() (*stcpipe.Report, error) {
+	return stcpipe.NewReport(stcpipe.ReportParams{SF: 0.0005, Seed: 42})
+})
+
+// TestReportGolden pins the paper-table formatting: each Report
+// accessor's output must match its golden file byte for byte, so the
+// table layout the README and EXPERIMENTS commentary rely on cannot
+// drift silently.
+func TestReportGolden(t *testing.T) {
+	r, err := goldenReport()
+	if err != nil {
+		t.Fatalf("NewReport: %v", err)
+	}
+	sections := []struct {
+		name   string
+		render func() string
+	}{
+		{"trace_summary", r.TraceSummary},
+		{"table1", r.Table1},
+		{"figure2", r.Figure2},
+		{"reuse", r.Reuse},
+		{"table2", r.Table2},
+		{"sequentiality", r.Sequentiality},
+		{"table3", r.Table3},
+		{"table4", r.Table4},
+	}
+	for _, s := range sections {
+		t.Run(s.name, func(t *testing.T) {
+			got := s.render()
+			path := filepath.Join("testdata", s.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from %s\n--- got ---\n%s\n--- want ---\n%s",
+					s.name, path, got, want)
+			}
+		})
+	}
+}

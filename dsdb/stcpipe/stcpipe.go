@@ -18,6 +18,7 @@ package stcpipe
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/dsdb"
 	"repro/internal/cache"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/tpcd"
+	"repro/internal/trace"
 )
 
 // Pipeline holds the instrumented kernel image shared by every
@@ -112,7 +114,10 @@ func TPCD(name string, nums ...int) (Workload, error) { return tpcdWorkload(name
 // the trace replayed by Simulate (test role).
 type Profile struct {
 	pipe *Pipeline
+	// ses is the single-session recorder; nil for profiles produced by
+	// ProfileConcurrent, whose merged trace is immutable.
 	ses  *kernel.Session
+	tr   *trace.Trace
 	prof *profile.Profile // lazily derived from the trace
 }
 
@@ -120,33 +125,117 @@ type Profile struct {
 // recorded profile. The database's previous tracer is restored when
 // the run finishes.
 func (p *Pipeline) Profile(db *dsdb.DB, w Workload) (*Profile, error) {
-	pr := &Profile{pipe: p, ses: p.img.NewSession(p.validate)}
+	ses := p.img.NewSession(p.validate)
+	pr := &Profile{pipe: p, ses: ses, tr: ses.Trace()}
 	if err := pr.Run(db, w); err != nil {
 		return nil, err
 	}
 	return pr, nil
 }
 
+// ProfileConcurrent traces a multi-session workload: sessions
+// goroutines each run the whole workload serially against the shared
+// db, every session recording into its own tracer (sessions are
+// single-threaded; the database is not). The per-session traces are
+// then interleaved at query boundaries, round-robin — session 1's
+// first query, session 2's first query, ..., session 1's second query
+// — modeling a DSS server context-switching between concurrent
+// clients on one instruction stream. The merge is deterministic even
+// though execution is not; the per-session traces themselves reflect
+// true concurrent execution (buffer hits and misses depend on what
+// the other sessions pulled into the pool).
+//
+// The returned profile is immutable (Run rejects it) but otherwise a
+// first-class citizen of the pipeline: it can train layouts, be
+// simulated, and be compared against its serial counterpart.
+func (p *Pipeline) ProfileConcurrent(db *dsdb.DB, sessions int, w Workload) (*Profile, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("stcpipe: need at least 1 session, got %d", sessions)
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("stcpipe: workload %q has no queries", w.Name)
+	}
+	sess := make([]*kernel.Session, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := range sess {
+		sess[i] = p.img.NewSession(p.validate)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ses := sess[i]
+			for qi, q := range w.Queries {
+				label := fmt.Sprintf("%s-%d", w.Name, qi+1)
+				if qi < len(w.Labels) {
+					label = w.Labels[qi]
+				}
+				label = fmt.Sprintf("s%d-%s", i+1, label)
+				ses.Mark(label)
+				if err := drainTraced(db, ses, q); err != nil {
+					errs[i] = fmt.Errorf("stcpipe: %s: %w", label, err)
+					return
+				}
+				if err := ses.Err(); err != nil {
+					errs[i] = fmt.Errorf("stcpipe: %s: trace: %w", label, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Profile{pipe: p, tr: interleaveSessions(p.img.Prog, sess, len(w.Queries))}, nil
+}
+
+// interleaveSessions merges per-session traces round-robin at query
+// (mark) boundaries into one trace over the shared program image.
+func interleaveSessions(prog *program.Program, sess []*kernel.Session, queries int) *trace.Trace {
+	out := trace.New(prog)
+	for q := 0; q < queries; q++ {
+		for _, s := range sess {
+			t := s.Trace()
+			if q >= len(t.Marks) {
+				continue
+			}
+			lo := t.Marks[q].Pos
+			hi := len(t.Blocks)
+			if q+1 < len(t.Marks) {
+				hi = t.Marks[q+1].Pos
+			}
+			out.Marks = append(out.Marks, trace.Mark{Pos: len(out.Blocks), Label: t.Marks[q].Label})
+			out.Blocks = append(out.Blocks, t.Blocks[lo:hi]...)
+			for _, b := range t.Blocks[lo:hi] {
+				out.Instrs += uint64(prog.Block(b).Size)
+			}
+		}
+	}
+	return out
+}
+
 // Run traces another workload into the same profile — the paper's
 // test set, for example, runs over both the B-tree and the
 // hash-indexed database within one trace.
 func (pr *Profile) Run(db *dsdb.DB, w Workload) error {
+	if pr.ses == nil {
+		return fmt.Errorf("stcpipe: profile was recorded from concurrent sessions and is immutable")
+	}
 	if len(w.Queries) == 0 {
 		return fmt.Errorf("stcpipe: workload %q has no queries", w.Name)
 	}
 	// Invalidate the cached derived profile up front: even a run that
 	// fails partway has grown the trace.
 	pr.prof = nil
-	prev := db.Tracer()
-	db.SetTracer(pr.ses)
-	defer db.SetTracer(prev)
 	for i, q := range w.Queries {
 		label := fmt.Sprintf("%s-%d", w.Name, i+1)
 		if i < len(w.Labels) {
 			label = w.Labels[i]
 		}
 		pr.ses.Mark(label)
-		if err := drain(db, q); err != nil {
+		if err := drainTraced(db, pr.ses, q); err != nil {
 			return fmt.Errorf("stcpipe: %s: %w", label, err)
 		}
 		if err := pr.ses.Err(); err != nil {
@@ -156,10 +245,12 @@ func (pr *Profile) Run(db *dsdb.DB, w Workload) error {
 	return nil
 }
 
-// drain streams a query to completion, discarding rows — tracing
-// only needs the execution, not the (possibly large) result set.
-func drain(db *dsdb.DB, q string) error {
-	rows, err := db.Query(context.Background(), q)
+// drainTraced streams a query to completion under the given tracer,
+// discarding rows — tracing only needs the execution, not the
+// (possibly large) result set. The tracer is bound per call, so
+// concurrent sessions never touch the DB-wide tracer.
+func drainTraced(db *dsdb.DB, tr dsdb.Tracer, q string) error {
+	rows, err := db.QueryTraced(context.Background(), tr, q)
 	if err != nil {
 		return err
 	}
@@ -172,16 +263,16 @@ func drain(db *dsdb.DB, q string) error {
 // profileData derives (and caches) the weighted CFG profile.
 func (pr *Profile) profileData() *profile.Profile {
 	if pr.prof == nil {
-		pr.prof = profile.FromTrace(pr.ses.Trace())
+		pr.prof = profile.FromTrace(pr.tr)
 	}
 	return pr.prof
 }
 
 // Events returns the number of recorded basic-block events.
-func (pr *Profile) Events() int { return pr.ses.Trace().Len() }
+func (pr *Profile) Events() int { return pr.tr.Len() }
 
 // Instrs returns the number of dynamic instructions in the trace.
-func (pr *Profile) Instrs() uint64 { return pr.ses.Trace().Instrs }
+func (pr *Profile) Instrs() uint64 { return pr.tr.Instrs }
 
 // FootprintStats is the static-vs-executed footprint (paper Table 1).
 type FootprintStats = profile.FootprintStats
@@ -408,13 +499,13 @@ func (pr *Profile) Simulate(l *Layout, fc FetchConfig) (Result, error) {
 	if fc.TraceCacheEntries > 0 {
 		cfg.TC = cache.NewTraceCache(fc.TraceCacheEntries, 16, 3, 4)
 	}
-	return fetch.Simulate(pr.ses.Trace(), l.l, cfg), nil
+	return fetch.Simulate(pr.tr, l.l, cfg), nil
 }
 
 // Sequentiality returns the paper's headline metric under a layout:
 // dynamic instructions executed between taken branches.
 func (pr *Profile) Sequentiality(l *Layout) float64 {
-	return fetch.Sequentiality(pr.ses.Trace(), l.l).InstrPerTaken
+	return fetch.Sequentiality(pr.tr, l.l).InstrPerTaken
 }
 
 // CompareResult is one algorithm's scorecard from Compare.

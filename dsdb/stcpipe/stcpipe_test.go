@@ -155,3 +155,72 @@ func sameAddrs(a, b []uint64) bool {
 	}
 	return true
 }
+
+// TestProfileConcurrentSessions traces a 3-session workload with
+// online CFG validation: each per-session trace must be valid, the
+// interleaved merge must carry roughly sessions× one serial run, and
+// the result must be a first-class profile (layouts build, simulation
+// runs).
+func TestProfileConcurrentSessions(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pipe := stcpipe.New(stcpipe.Validate())
+	w := stcpipe.Training()
+	const sessions = 3
+
+	pr, err := pipe.ProfileConcurrent(db, sessions, w)
+	if err != nil {
+		t.Fatalf("ProfileConcurrent: %v", err)
+	}
+	if pr.Events() == 0 || pr.Instrs() == 0 {
+		t.Fatalf("empty concurrent trace: %d events, %d instrs", pr.Events(), pr.Instrs())
+	}
+
+	// The interleaved trace should hold roughly sessions× the work of
+	// one serial run (buffer hit/miss paths may differ slightly).
+	serial, err := pipe.Profile(db, w)
+	if err != nil {
+		t.Fatalf("serial Profile: %v", err)
+	}
+	lo := uint64(float64(serial.Instrs()) * 2.5)
+	hi := uint64(float64(serial.Instrs()) * 3.5)
+	if pr.Instrs() < lo || pr.Instrs() > hi {
+		t.Fatalf("interleaved trace has %d instrs, want within [%d, %d] (~%d× serial %d)",
+			pr.Instrs(), lo, hi, sessions, serial.Instrs())
+	}
+
+	// It trains layouts and simulates like any profile.
+	lay, err := pr.Layout(stcpipe.STCOps(stcpipe.Params{}))
+	if err != nil {
+		t.Fatalf("Layout over concurrent profile: %v", err)
+	}
+	res, err := pr.Simulate(lay, stcpipe.FetchConfig{CacheBytes: 4096})
+	if err != nil {
+		t.Fatalf("Simulate over concurrent profile: %v", err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatalf("implausible IPC %v", res.IPC())
+	}
+
+	// Immutable: Run must refuse to extend a merged profile.
+	if err := pr.Run(db, w); err == nil {
+		t.Fatal("Run on a concurrent profile must error")
+	}
+}
+
+// TestProfileConcurrentValidatesArgs covers the argument errors.
+func TestProfileConcurrentValidatesArgs(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pipe := stcpipe.New()
+	if _, err := pipe.ProfileConcurrent(db, 0, stcpipe.Training()); err == nil {
+		t.Fatal("0 sessions must error")
+	}
+	if _, err := pipe.ProfileConcurrent(db, 2, stcpipe.Workload{Name: "empty"}); err == nil {
+		t.Fatal("empty workload must error")
+	}
+}

@@ -95,15 +95,32 @@ func (h *Heap) Fetch(tr probe.Tracer, tid storage.TID, dst []value.Value) ([]val
 type HeapScan struct {
 	heap *Heap
 	page int
+	end  int // first page past the scan range; -1 means whole file
 	slot int
 	buf  buffer.Buf
 	held bool
 	eof  bool
 }
 
-// BeginScan starts a sequential scan.
+// BeginScan starts a sequential scan over the whole file.
 func (h *Heap) BeginScan() *HeapScan {
-	return &HeapScan{heap: h}
+	return &HeapScan{heap: h, end: -1}
+}
+
+// BeginRangeScan starts a sequential scan over pages [lo, hi) — the
+// partition primitive for parallel scans: n workers each scanning one
+// contiguous page range together cover the file exactly once, in the
+// same physical order a serial scan would. Bounds are clamped: a
+// negative lo starts at page 0, and hi <= lo yields an empty scan
+// (never the whole-file sentinel).
+func (h *Heap) BeginRangeScan(lo, hi int) *HeapScan {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &HeapScan{heap: h, page: lo, end: hi}
 }
 
 // Next returns the next tuple (decoded into dst) and its TID; ok is
@@ -117,7 +134,11 @@ func (s *HeapScan) Next(tr probe.Tracer, dst []value.Value) (vals []value.Value,
 	}
 	for {
 		if !s.held {
-			if s.page >= s.heap.buf.NumPages(s.heap.file) {
+			limit := s.heap.buf.NumPages(s.heap.file)
+			if s.end >= 0 && s.end < limit {
+				limit = s.end
+			}
+			if s.page >= limit {
 				s.eof = true
 				tr.Emit(probe.HeapGetNextEOF)
 				return nil, storage.TID{}, false, nil

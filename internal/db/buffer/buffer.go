@@ -3,10 +3,19 @@
 // (second-chance) replacement, pin/unpin discipline and hit/miss
 // statistics — the module the paper identifies (with the access
 // methods) as a major source of instruction-cache misses.
+//
+// The pool is latched: every frame-table operation (lookup, pin,
+// unpin, clock sweep, flush) runs under one pool mutex, and hit/miss
+// counters are atomic, so any number of sessions can pin and release
+// pages concurrently without lost updates. Page contents themselves
+// are not latched — concurrent readers of a pinned page are safe,
+// while writers are serialized above the pool (the engine holds its
+// write latch across inserts and index builds).
 package buffer
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/db/probe"
 	"repro/internal/db/storage"
@@ -32,14 +41,21 @@ type Buf struct {
 	idx          int
 }
 
-// Manager is the buffer pool.
+// Manager is the buffer pool. All methods are safe for concurrent
+// use.
 type Manager struct {
-	store  *storage.Store
+	store *storage.Store
+
+	mu     sync.Mutex // guards frames, lookup and the clock hand
 	frames []frame
 	lookup map[key]int
 	hand   int
-	hits   uint64
-	misses uint64
+
+	// stats holds the pool's hit/miss counters (atomic, so no
+	// increments are lost under concurrent load).
+	stats  *probe.CounterSet
+	hits   *probe.Counter
+	misses *probe.Counter
 }
 
 // New returns a buffer pool of n frames over the store.
@@ -48,7 +64,10 @@ func New(store *storage.Store, n int) *Manager {
 		store:  store,
 		frames: make([]frame, n),
 		lookup: make(map[key]int, n),
+		stats:  probe.NewCounterSet(),
 	}
+	m.hits = m.stats.Register("buffer.hits")
+	m.misses = m.stats.Register("buffer.misses")
 	for i := range m.frames {
 		m.frames[i].page = storage.NewPage()
 	}
@@ -57,21 +76,25 @@ func New(store *storage.Store, n int) *Manager {
 
 // Get pins the given page, reading it from storage on a miss. The
 // tracer receives the ReadBuffer instrumentation events (nil means
-// untraced).
+// untraced). The whole lookup-or-read runs under the pool latch, so
+// two sessions racing for an unbuffered page read it once: the loser
+// of the race takes the hit path.
 func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	tr = probe.Or(tr)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	tr.Emit(probe.BufGetEnter)
 	tr.Emit(probe.BufTableLookup)
 	k := key{file, page}
 	if i, ok := m.lookup[k]; ok {
-		m.hits++
+		m.hits.Inc()
 		f := &m.frames[i]
 		f.pins++
 		f.ref = true
 		tr.Emit(probe.BufGetHit)
 		return Buf{Page: f.page, File: file, PageNo: page, idx: i}, nil
 	}
-	m.misses++
+	m.misses.Inc()
 	tr.Emit(probe.BufGetMiss)
 	i, err := m.evict(tr)
 	if err != nil {
@@ -105,6 +128,8 @@ func (m *Manager) NewPage(file int) (Buf, error) {
 
 // Release unpins a buffer, marking it dirty if modified.
 func (m *Manager) Release(b Buf, dirty bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f := &m.frames[b.idx]
 	if f.pins <= 0 || f.key != (key{b.File, b.PageNo}) {
 		panic(fmt.Sprintf("buffer: bad release of file %d page %d", b.File, b.PageNo))
@@ -116,7 +141,7 @@ func (m *Manager) Release(b Buf, dirty bool) {
 }
 
 // evict finds a free frame with the clock algorithm, flushing a dirty
-// victim (StrategyGetBuffer).
+// victim (StrategyGetBuffer). The caller holds m.mu.
 func (m *Manager) evict(tr probe.Tracer) (int, error) {
 	tr = probe.Or(tr)
 	tr.Emit(probe.BufClockEnter)
@@ -155,6 +180,8 @@ func (m *Manager) evict(tr probe.Tracer) (int, error) {
 // FlushAll writes every dirty frame back to storage (used after bulk
 // loads).
 func (m *Manager) FlushAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i := range m.frames {
 		f := &m.frames[i]
 		if f.valid && f.dirty {
@@ -167,8 +194,17 @@ func (m *Manager) FlushAll() error {
 	return nil
 }
 
-// Stats returns hit and miss counts.
-func (m *Manager) Stats() (hits, misses uint64) { return m.hits, m.misses }
+// Stats returns hit and miss counts. The counters are atomic, so no
+// increments are lost under concurrent load; reading both is not one
+// atomic snapshot, but each count is exact once the pool quiesces.
+func (m *Manager) Stats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Counters exposes the pool's counter registry ("buffer.hits",
+// "buffer.misses") for snapshotting or resetting between benchmark
+// phases.
+func (m *Manager) Counters() *probe.CounterSet { return m.stats }
 
 // NumPages returns the length of a storage file in pages (pass-through
 // to the storage manager so access methods need only the pool).
@@ -177,6 +213,8 @@ func (m *Manager) NumPages(file int) int { return m.store.NumPages(file) }
 // PinnedFrames returns the number of currently pinned frames (for
 // leak checks in tests).
 func (m *Manager) PinnedFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for i := range m.frames {
 		if m.frames[i].pins > 0 {

@@ -1,6 +1,9 @@
 package buffer
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/db/storage"
@@ -207,5 +210,81 @@ func TestClockSecondChance(t *testing.T) {
 	_, m1 := m.Stats()
 	if m1 != m0+1 {
 		t.Fatal("page 2 should have been the clock victim")
+	}
+}
+
+// TestConcurrentGetRelease hammers one pool from many goroutines,
+// asserting the frame table stays consistent (no bad releases, no
+// leaked pins) and that the atomic hit/miss counters account for
+// every Get exactly once.
+func TestConcurrentGetRelease(t *testing.T) {
+	const pages, frames, goroutines, iters = 64, 16, 8, 2000
+	_, m := newEnv(t, frames, pages)
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				b, err := m.Get(nil, 0, rng.Intn(pages))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if b.Page[0] == 0 { // touch the pinned page
+					errs[g] = fmt.Errorf("page %d empty", b.PageNo)
+					return
+				}
+				m.Release(b, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.PinnedFrames(); n != 0 {
+		t.Fatalf("leaked %d pins", n)
+	}
+	hits, misses := m.Stats()
+	if hits+misses != goroutines*iters {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d (lost counter updates)",
+			hits, misses, hits+misses, goroutines*iters)
+	}
+	if misses < pages/4 {
+		t.Fatalf("misses = %d, implausibly low for a %d-frame pool over %d pages", misses, frames, pages)
+	}
+}
+
+// TestConcurrentGetSamePageReadsOnce races every goroutine for the
+// same cold page: the pool latch must admit exactly one storage read.
+func TestConcurrentGetSamePageReadsOnce(t *testing.T) {
+	const goroutines = 16
+	st, m := newEnv(t, 8, 4)
+	before := st.Reads()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := m.Get(nil, 0, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.Release(b, false)
+		}()
+	}
+	wg.Wait()
+	if got := st.Reads() - before; got != 1 {
+		t.Fatalf("page read %d times from storage, want 1", got)
+	}
+	hits, misses := m.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", hits, misses, goroutines-1)
 	}
 }

@@ -6,6 +6,7 @@ package catalog
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/db/value"
 )
@@ -85,8 +86,14 @@ func (t *Table) IndexOn(col string) *Index {
 	return nil
 }
 
-// Catalog maps names to tables.
+// Catalog maps names to tables. Lookups are safe for any number of
+// concurrent readers; DDL (AddTable/AddIndex) takes the write lock.
+// The Table and Index descriptors themselves are immutable once
+// created, except Table.Indexes, which only AddIndex appends to — the
+// engine excludes DDL from running queries with its own latch, so
+// planner reads of a descriptor never race with its growth.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
 	nextID int
@@ -97,6 +104,8 @@ func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
 // AddTable registers a table and assigns its heap file ID.
 func (c *Catalog) AddTable(name string, schema *Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.tables[name]; dup {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
@@ -109,6 +118,8 @@ func (c *Catalog) AddTable(name string, schema *Schema) (*Table, error) {
 
 // AddIndex registers an index on table.column and assigns its file ID.
 func (c *Catalog) AddIndex(table, column string, kind IndexKind, unique bool) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tables[table]
 	if !ok {
 		return nil, fmt.Errorf("catalog: no table %q", table)
@@ -133,12 +144,16 @@ func (c *Catalog) AddIndex(table, column string, kind IndexKind, unique bool) (*
 
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	return t, ok
 }
 
 // Tables returns all tables in creation order.
 func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Table, 0, len(c.order))
 	for _, n := range c.order {
 		out = append(out, c.tables[n])
@@ -147,4 +162,8 @@ func (c *Catalog) Tables() []*Table {
 }
 
 // NumFiles returns the number of storage files allocated so far.
-func (c *Catalog) NumFiles() int { return c.nextID }
+func (c *Catalog) NumFiles() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextID
+}

@@ -1,6 +1,8 @@
 package catalog
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/db/value"
@@ -67,5 +69,72 @@ func TestCatalogTablesAndIndexes(t *testing.T) {
 func TestIndexKindString(t *testing.T) {
 	if BTree.String() != "btree" || Hash.String() != "hash" {
 		t.Fatal("kind names wrong")
+	}
+}
+
+// TestConcurrentReadersAndDDL races lookups against table creation:
+// the catalog latch must keep the name map and file-ID assignment
+// consistent (every table keeps a unique file ID, readers never see a
+// torn map).
+func TestConcurrentReadersAndDDL(t *testing.T) {
+	c := New()
+	const writers, perWriter, readers = 4, 50, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				name := fmt.Sprintf("t_%d_%d", w, i)
+				if _, err := c.AddTable(name, sampleSchema()); err != nil {
+					t.Errorf("AddTable %s: %v", name, err)
+					return
+				}
+				if _, err := c.AddIndex(name, "id", BTree, true); err != nil {
+					t.Errorf("AddIndex %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, tbl := range c.Tables() {
+					if tbl == nil {
+						t.Error("Tables returned nil entry")
+						return
+					}
+				}
+				c.Table("t_0_0")
+				c.NumFiles()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Every table + index must hold a distinct file ID.
+	seen := make(map[int]string)
+	for _, tbl := range c.Tables() {
+		if prev, dup := seen[tbl.FileID]; dup {
+			t.Fatalf("file ID %d assigned to both %s and %s", tbl.FileID, prev, tbl.Name)
+		}
+		seen[tbl.FileID] = tbl.Name
+		for _, ix := range tbl.Indexes {
+			if prev, dup := seen[ix.FileID]; dup {
+				t.Fatalf("file ID %d assigned to both %s and %s", ix.FileID, prev, ix.Name)
+			}
+			seen[ix.FileID] = ix.Name
+		}
+	}
+	if got := len(seen); got != 2*writers*perWriter {
+		t.Fatalf("got %d catalog objects, want %d", got, 2*writers*perWriter)
+	}
+	if c.NumFiles() != 2*writers*perWriter {
+		t.Fatalf("NumFiles = %d, want %d", c.NumFiles(), 2*writers*perWriter)
 	}
 }

@@ -1,10 +1,21 @@
 // Package engine assembles the database kernel: catalog, storage
 // manager, buffer pool, access methods and executor, with bulk loading
 // and index maintenance — the "backend" of the paper's Figure 1.
+//
+// Concurrency model: the engine carries a single reader-preferring
+// reader/writer latch. Queries run under the shared side (BeginRead),
+// so any number of sessions can execute plans at once — including
+// nested reads from a session with an open result set; Insert,
+// CreateTable and CreateIndex take the exclusive side, so writers
+// never mutate heap pages or the access-method maps under a running
+// scan. The layers below (catalog, buffer pool, storage) carry their
+// own fine-grained latches, so even latch-free internal callers get
+// racy-but-memory-safe behavior rather than corruption.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/db/access"
 	"repro/internal/db/buffer"
@@ -15,12 +26,69 @@ import (
 	"repro/internal/db/value"
 )
 
+// rwLatch is the engine latch: a reader-preferring reader/writer
+// lock. Unlike sync.RWMutex, a reader only waits while a writer is
+// *active*, never behind a merely queued writer — so a session that
+// already holds a read latch (an open result set) can issue nested
+// reads without deadlocking against a waiting Insert. The price is
+// that writers can starve under a saturated read load; acceptable for
+// a decision-support kernel whose writes are loads and index builds.
+type rwLatch struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	readers int
+	writer  bool
+}
+
+func newRWLatch() *rwLatch {
+	l := &rwLatch{}
+	l.cond.L = &l.mu
+	return l
+}
+
+func (l *rwLatch) rlock() {
+	l.mu.Lock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+func (l *rwLatch) runlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+func (l *rwLatch) lock() {
+	l.mu.Lock()
+	for l.writer || l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.writer = true
+	l.mu.Unlock()
+}
+
+func (l *rwLatch) unlock() {
+	l.mu.Lock()
+	l.writer = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
 // DB is one database instance.
 type DB struct {
 	Cat   *catalog.Catalog
 	Store *storage.Store
 	Buf   *buffer.Manager
 
+	// latch is the engine latch: shared for query execution and the
+	// map accessors, exclusive for Insert and DDL.
+	latch  *rwLatch
 	heaps  map[string]*access.Heap
 	btrees map[string]*access.BTree
 	hashes map[string]*access.HashIndex
@@ -35,6 +103,7 @@ func Open(frames int) *DB {
 		Cat:    catalog.New(),
 		Store:  st,
 		Buf:    buffer.New(st, frames),
+		latch:  newRWLatch(),
 		heaps:  make(map[string]*access.Heap),
 		btrees: make(map[string]*access.BTree),
 		hashes: make(map[string]*access.HashIndex),
@@ -42,8 +111,21 @@ func Open(frames int) *DB {
 	}
 }
 
+// BeginRead acquires the engine latch in shared mode for the duration
+// of a query (compile + execute) and returns the release function.
+// Readers run concurrently with each other and exclude Insert/DDL.
+// Readers never wait behind a merely queued writer, so nested reads
+// (a query issued while another result set is open) are safe; do not
+// call Insert or DDL from a goroutine that still holds a read latch.
+func (db *DB) BeginRead() func() {
+	db.latch.rlock()
+	return db.latch.runlock
+}
+
 // CreateTable registers a table and its heap file.
 func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, error) {
+	db.latch.lock()
+	defer db.latch.unlock()
 	t, err := db.Cat.AddTable(name, schema)
 	if err != nil {
 		return nil, err
@@ -57,6 +139,8 @@ func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, 
 // bucket count is sized from the current table cardinality, so build
 // indices after loading (as the paper's database setup does).
 func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique bool) error {
+	db.latch.lock()
+	defer db.latch.unlock()
 	ix, err := db.Cat.AddIndex(table, column, kind, unique)
 	if err != nil {
 		return err
@@ -108,8 +192,12 @@ func (db *DB) indexInsertOne(ix *catalog.Index, vals []value.Value, tid storage.
 	}
 }
 
-// Insert appends a row to a table, maintaining its indices.
+// Insert appends a row to a table, maintaining its indices. The
+// engine latch is held exclusively, so the heap append and every
+// index insert land atomically with respect to running queries.
 func (db *DB) Insert(table string, row []value.Value) error {
+	db.latch.lock()
+	defer db.latch.unlock()
 	t, ok := db.Cat.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
@@ -130,20 +218,32 @@ func (db *DB) Insert(table string, row []value.Value) error {
 	return nil
 }
 
-// NumRows returns the loaded cardinality of a table.
+// NumRows returns the loaded cardinality of a table. Like the other
+// map accessors below, it must be called either under the shared
+// latch (BeginRead) or on a quiesced engine: the latch is not
+// reentrant, so the accessors do not take it themselves.
 func (db *DB) NumRows(table string) int { return db.rows[table] }
 
-// Heap returns a table's heap access method.
+// Heap returns a table's heap access method (call under BeginRead).
 func (db *DB) Heap(table string) *access.Heap { return db.heaps[table] }
 
-// BTreeFor returns the B-tree for an index descriptor, if built.
+// BTreeFor returns the B-tree for an index descriptor, if built
+// (call under BeginRead).
 func (db *DB) BTreeFor(ix *catalog.Index) *access.BTree { return db.btrees[ix.Name] }
 
-// HashFor returns the hash index for an index descriptor, if built.
+// HashFor returns the hash index for an index descriptor, if built
+// (call under BeginRead).
 func (db *DB) HashFor(ix *catalog.Index) *access.HashIndex { return db.hashes[ix.Name] }
 
-// Flush writes back all dirty pages (call after loading).
-func (db *DB) Flush() error { return db.Buf.FlushAll() }
+// Flush writes back all dirty pages (call after loading). It holds
+// the engine latch shared: dirty frame bytes are only ever mutated by
+// Insert and the DDL backfills, which hold it exclusively, so the
+// flush never reads a page mid-write.
+func (db *DB) Flush() error {
+	db.latch.rlock()
+	defer db.latch.runlock()
+	return db.Buf.FlushAll()
+}
 
 // Run executes a plan to completion and returns the result rows. The
 // plan is always closed — including when Open or Next fail partway —

@@ -21,13 +21,26 @@ type Tuple []value.Value
 
 // Ctx carries per-query execution state: the instrumentation tracer
 // and scratch space. A nil-tracer context is valid and untraced.
+// Each query gets its own Ctx, so concurrent sessions never share
+// tracer or interrupt state.
 type Ctx struct {
 	Tr probe.Tracer
 	// Interrupt, when non-nil, is polled on every inter-node call of
 	// the Volcano dispatcher; a non-nil return aborts execution with
 	// that error. It is how context cancellation reaches the executor
 	// even inside pipeline-breaking operators (Sort, HashJoin build).
+	// It must be safe to call from multiple goroutines: parallel scan
+	// workers poll it too.
 	Interrupt func() error
+	// Parallelism is the degree the planner may use for
+	// partition-parallel scans; 0 or 1 plans serial scans only.
+	Parallelism int
+	// WorkerTracer, when non-nil, receives the probe events of
+	// parallel-scan workers, which run outside the (single-threaded)
+	// session tracer Tr. It is shared by all workers of all scans on
+	// this context and must be safe for concurrent use — a
+	// probe.CountingTracer is; a trace-recording session is not.
+	WorkerTracer probe.Tracer
 }
 
 // NewCtx returns an execution context with the given tracer (nil means

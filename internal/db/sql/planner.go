@@ -124,7 +124,7 @@ func (pl *Planner) Plan(st *SelectStmt) (executor.Node, error) {
 			}
 			plan, err = pl.join(plan, t, outerCol, innerCol, tblPreds[t], scans[t], est)
 		} else {
-			plan = &executor.NestLoop{C: pl.C, Outer: plan, Inner: scans[t]}
+			plan = &executor.NestLoop{C: pl.C, Outer: plan, Inner: serialized(pl.C, scans[t])}
 		}
 		if err != nil {
 			return nil, err
@@ -375,6 +375,12 @@ func (pl *Planner) scan(table string, preds []node) (executor.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Partition-parallel scan when the context allows it and the heap
+	// is big enough to split (a one-page table gains nothing).
+	if pl.C.Parallelism > 1 && heap.NumPages() >= 2 {
+		return &executor.ParallelScan{C: pl.C, Heap: heap, Out: sch,
+			Quals: quals, Degree: pl.C.Parallelism}, nil
+	}
 	return &executor.SeqScan{C: pl.C, Heap: heap, Out: sch, Quals: quals}, nil
 }
 
@@ -421,6 +427,18 @@ func (pl *Planner) join(outer executor.Node, t, outerCol, innerCol string,
 }
 
 // ---- helpers ----
+
+// serialized replaces a ParallelScan with its serial equivalent for
+// operators that re-open their inner child on every outer tuple (the
+// cartesian NestLoop): respawning partition workers per rescan costs
+// far more than the partitioning saves. Single-open consumers (hash
+// and merge join builds, top-level scans) keep the parallel node.
+func serialized(c *executor.Ctx, n executor.Node) executor.Node {
+	if ps, ok := n.(*executor.ParallelScan); ok {
+		return &executor.SeqScan{C: c, Heap: ps.Heap, Out: ps.Out, Quals: ps.Quals}
+	}
+	return n
+}
 
 func flattenAnd(n node, out *[]node) {
 	if n == nil {

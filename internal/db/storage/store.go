@@ -1,15 +1,22 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Store is the storage manager: a set of page files addressed by file
 // ID. Pages are copied in and out (as a disk would), so the only way
 // to mutate stored data is an explicit WritePage — the buffer manager
 // above is the sole client, mirroring the kernel structure in the
-// paper's Figure 1.
+// paper's Figure 1. All methods are safe for concurrent use: page and
+// file-table access is guarded by one reader/writer lock, matching a
+// disk controller serving requests from many backends.
 type Store struct {
+	mu    sync.RWMutex
 	files [][]Page
-	reads uint64
+	reads atomic.Uint64
 }
 
 // NewStore returns a store with n pre-created empty files.
@@ -19,16 +26,24 @@ func NewStore(n int) *Store {
 
 // EnsureFiles grows the store to at least n files.
 func (s *Store) EnsureFiles(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for len(s.files) < n {
 		s.files = append(s.files, nil)
 	}
 }
 
 // NumFiles returns the number of files.
-func (s *Store) NumFiles() int { return len(s.files) }
+func (s *Store) NumFiles() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
 
 // NumPages returns the length of a file in pages.
 func (s *Store) NumPages(file int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if file < 0 || file >= len(s.files) {
 		return 0
 	}
@@ -37,6 +52,8 @@ func (s *Store) NumPages(file int) int {
 
 // AllocPage appends an empty page to the file and returns its number.
 func (s *Store) AllocPage(file int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if file < 0 || file >= len(s.files) {
 		return 0, fmt.Errorf("storage: no file %d", file)
 	}
@@ -46,16 +63,20 @@ func (s *Store) AllocPage(file int) (int, error) {
 
 // ReadPage copies page contents into dst (len PageBytes).
 func (s *Store) ReadPage(file, page int, dst Page) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
 		return fmt.Errorf("storage: read beyond file %d page %d", file, page)
 	}
 	copy(dst, s.files[file][page])
-	s.reads++
+	s.reads.Add(1)
 	return nil
 }
 
 // WritePage copies src into the stored page.
 func (s *Store) WritePage(file, page int, src Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
 		return fmt.Errorf("storage: write beyond file %d page %d", file, page)
 	}
@@ -64,4 +85,4 @@ func (s *Store) WritePage(file, page int, src Page) error {
 }
 
 // Reads returns the number of page reads served (I/O statistic).
-func (s *Store) Reads() uint64 { return s.reads }
+func (s *Store) Reads() uint64 { return s.reads.Load() }

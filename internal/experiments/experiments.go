@@ -48,6 +48,10 @@ type Params struct {
 	SF       float64
 	Seed     int64
 	Validate bool // validate traces online (slower)
+	// Parallelism > 1 runs the workloads with partition-parallel
+	// scans: the traces then measure the coordinator's instruction
+	// stream, a different fetch scenario from the serial plans.
+	Parallelism int
 }
 
 // DefaultParams is the laptop-scale default.
@@ -75,6 +79,7 @@ func NewSetup(p Params) (*Setup, error) {
 
 	runSet := func(db *engine.DB, queries []int, label string, ses *kernel.Session) error {
 		c := executor.NewCtx(ses)
+		c.Parallelism = p.Parallelism
 		for _, qn := range queries {
 			q, ok := tpcd.Query(qn)
 			if !ok {
