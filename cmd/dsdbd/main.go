@@ -1,0 +1,73 @@
+// Command dsdbd is the dsdb daemon: it loads a TPC-D database and
+// serves it over the wire protocol (dsdb/wire) until SIGINT/SIGTERM,
+// at which point it drains connections at query boundaries and exits.
+//
+// Usage:
+//
+//	dsdbd -addr 127.0.0.1:5454 -sf 0.002
+//	dsdbd -addr :5454 -hash -max-conns 128 -query-timeout 30s
+//
+// Pair it with cmd/dsload for closed-loop load, or dial it from any
+// program via dsdb/client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:5454", "listen address")
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	hash := flag.Bool("hash", false, "use the hash-indexed database instead of Btree")
+	frames := flag.Int("frames", 2048, "buffer pool frames")
+	maxConns := flag.Int("max-conns", 64, "connection limit")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before force-closing")
+	flag.Parse()
+
+	kind := dsdb.BTree
+	if *hash {
+		kind = dsdb.Hash
+	}
+	fmt.Fprintf(os.Stderr, "dsdbd: loading TPC-D (SF=%g, %s indices, seed %d)...\n", *sf, kind, *seed)
+	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
+		dsdb.WithSeed(*seed), dsdb.WithBufferFrames(*frames))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(db,
+		server.WithMaxConns(*maxConns),
+		server.WithQueryTimeout(*queryTimeout))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "dsdbd: serving on %s (max %d conns)\n", *addr, *maxConns)
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dsdbd: %v, draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("dsdbd: forced shutdown: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "dsdbd: clean shutdown")
+	case err := <-errc:
+		log.Fatalf("dsdbd: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+// Command dsload fires closed-loop TPC-D load at a dsdbd server: N
+// client sessions, each looping over a query mix (train/test/all or an
+// explicit list), with warmup rounds excluded from measurement, then
+// prints the latency/throughput summary whose format is pinned by the
+// dsdb/load golden test.
+//
+// Usage:
+//
+//	dsload -addr 127.0.0.1:5454 -clients 8 -rounds 5 -warmup 1 -mix test
+//	dsload -addr 127.0.0.1:5454 -clients 2 -rounds 1 -mix 3,4,6
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/dsdb/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:5454", "dsdbd server address")
+	clients := flag.Int("clients", 4, "concurrent closed-loop client sessions")
+	rounds := flag.Int("rounds", 3, "measured rounds of the mix per client")
+	warmup := flag.Int("warmup", 1, "unmeasured warmup rounds per client")
+	mixFlag := flag.String("mix", "train", "query mix: train, test, all, or numbers like 3,4,6")
+	seed := flag.Int64("seed", 0, "per-client query-order shuffle seed (0 = mix order)")
+	wait := flag.Duration("wait-ready", 15*time.Second, "how long to retry the first connection while the server loads")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+	flag.Parse()
+
+	mix, err := load.ParseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fmt.Fprintf(os.Stderr, "dsload: %d clients × %d+%d rounds of mix %s against %s\n",
+		*clients, *warmup, *rounds, mix.Name, *addr)
+	sum, err := load.Run(ctx, load.Params{
+		Addr:      *addr,
+		Clients:   *clients,
+		Rounds:    *rounds,
+		Warmup:    *warmup,
+		Mix:       mix,
+		Seed:      *seed,
+		WaitReady: *wait,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sum.Report())
+}

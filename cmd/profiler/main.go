@@ -7,7 +7,10 @@
 // instead: N concurrent clients each run the training set against one
 // shared database, every session recording its own trace, and the
 // interleaved trace is profiled — the concurrency measurement
-// scenario for the paper's fetch models.
+// scenario for the paper's fetch models. Adding -served runs those N
+// sessions as real wire clients against an in-process dsdb server
+// (stcpipe.ProfileServed): instruction fetch under served DSS
+// traffic.
 package main
 
 import (
@@ -24,10 +27,11 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
 	top := flag.Int("top", 20, "number of hottest blocks to list")
 	sessions := flag.Int("sessions", 1, "concurrent sessions to profile (1 = the paper's serial run)")
+	served := flag.Bool("served", false, "run the sessions as wire clients against an in-process server")
 	flag.Parse()
 
-	if *sessions > 1 {
-		profileConcurrent(*sf, *sessions, *top)
+	if *served || *sessions > 1 {
+		profileConcurrent(*sf, *sessions, *top, *served)
 		return
 	}
 
@@ -53,20 +57,28 @@ func printHottest(what string, blocks []stcpipe.BlockStat) {
 }
 
 // profileConcurrent traces the training workload run by n concurrent
-// sessions against one shared database and prints the footprint and
-// hottest blocks of the interleaved trace.
-func profileConcurrent(sf float64, n, top int) {
+// sessions — goroutines sharing the database directly, or (served)
+// wire clients against an in-process server — and prints the
+// footprint and hottest blocks of the interleaved trace.
+func profileConcurrent(sf float64, n, top int, served bool) {
 	db, err := dsdb.Open(dsdb.WithTPCD(sf))
 	if err != nil {
 		log.Fatal(err)
 	}
 	pipe := stcpipe.New()
-	pr, err := pipe.ProfileConcurrent(db, n, stcpipe.Training())
+	var pr *stcpipe.Profile
+	how := "concurrent"
+	if served {
+		how = "served"
+		pr, err = pipe.ProfileServed(db, n, stcpipe.Training())
+	} else {
+		pr, err = pipe.ProfileConcurrent(db, n, stcpipe.Training())
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d concurrent sessions, interleaved trace: %d block events, %d instrs\n",
-		n, pr.Events(), pr.Instrs())
+	fmt.Printf("%d %s sessions, interleaved trace: %d block events, %d instrs\n",
+		n, how, pr.Events(), pr.Instrs())
 	fp := pr.Footprint()
 	fmt.Printf("executed footprint: %.1f%% of procedures, %.1f%% of blocks, %.1f%% of instructions\n",
 		fp.PctProcs(), fp.PctBlocks(), fp.PctInstrs())

@@ -3,7 +3,7 @@
 // Larriba-Pey, Navarro, Serrano, Valero, Torrellas — ICPP 1999): the
 // Software Trace Cache.
 //
-// The public surface is two packages:
+// The public surface is the dsdb package family:
 //
 //   - repro/dsdb — a database/sql-style API over the instrumented
 //     database kernel: Open with functional options (buffer pool,
@@ -23,11 +23,29 @@
 //     and figure of the paper. ProfileConcurrent traces N concurrent
 //     sessions against one database, interleaving their per-session
 //     traces at query boundaries — instruction fetch under
-//     multi-session DSS traffic as a first-class scenario.
+//     multi-session DSS traffic as a first-class scenario — and
+//     ProfileServed records the same interleaved profile from real
+//     served traffic: an in-process server, N wire clients, one
+//     kernel trace per connection.
+//   - repro/dsdb/wire, repro/dsdb/server, repro/dsdb/client — the
+//     serving subsystem: a length-prefixed binary protocol
+//     (handshake, prepare, query, streaming row batches, error
+//     frames, mid-stream cancellation), a TCP server mapping each
+//     connection onto a per-session context over one shared DB
+//     (connection limits, per-query deadlines, graceful drain), and
+//     a client with the same Query/QueryRow/Exec/Prepare surface as
+//     dsdb.DB returning byte-identical results over the network.
+//   - repro/dsdb/load — the closed-loop load generator behind
+//     cmd/dsload: N client sessions looping over a TPC-D query mix,
+//     warmup exclusion, latency percentiles and throughput.
+//
+// Binaries: cmd/dsquery (interactive queries), cmd/dsdbd (the
+// serving daemon), cmd/dsload (load generation), cmd/profiler and
+// cmd/experiments (the paper's analyses).
 //
 // Everything under internal/ — the storage manager, buffer manager,
 // B-tree/hash access methods, Volcano executor, SQL front end, TPC-D
 // generator, kernel image, and the layout/fetch simulators — is
-// implementation detail reached only through those two packages. See
+// implementation detail reached only through the public packages. See
 // README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

@@ -1,0 +1,374 @@
+// Package load is the closed-loop load generator behind cmd/dsload: N
+// client sessions connect to a dsdb server, each looping over a TPC-D
+// query mix (every client waits for its current query to finish before
+// issuing the next — classic closed-loop load), with warmup rounds
+// excluded from measurement and a latency/throughput summary at the
+// end. The Summary's Report rendering is pinned by a golden-file test,
+// so downstream tooling can parse it.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+	"repro/dsdb/wire"
+)
+
+// Mix is a named TPC-D query mix.
+type Mix struct {
+	Name    string
+	Numbers []int
+}
+
+// TrainMix is the paper's training set (Q3,4,5,6,9).
+func TrainMix() Mix { return Mix{Name: "train", Numbers: []int{3, 4, 5, 6, 9}} }
+
+// TestMix is the paper's test set (Q2,3,4,6,11,12,13,14,15,17).
+func TestMix() Mix { return Mix{Name: "test", Numbers: []int{2, 3, 4, 6, 11, 12, 13, 14, 15, 17}} }
+
+// AllMix is every implemented TPC-D query.
+func AllMix() Mix { return Mix{Name: "all", Numbers: dsdb.TPCDQueryNumbers()} }
+
+// ParseMix resolves a -mix flag value: "train", "test", "all", or a
+// comma-separated list of TPC-D query numbers ("3,4,6").
+func ParseMix(s string) (Mix, error) {
+	switch s {
+	case "train":
+		return TrainMix(), nil
+	case "test":
+		return TestMix(), nil
+	case "all":
+		return AllMix(), nil
+	}
+	var m Mix
+	m.Name = s
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return Mix{}, fmt.Errorf("load: bad mix %q (want train, test, all, or query numbers like 3,4,6)", s)
+		}
+		if _, ok := dsdb.TPCDQuery(n); !ok {
+			return Mix{}, fmt.Errorf("load: no TPC-D query %d (have %v)", n, dsdb.TPCDQueryNumbers())
+		}
+		m.Numbers = append(m.Numbers, n)
+	}
+	if len(m.Numbers) == 0 {
+		return Mix{}, fmt.Errorf("load: empty mix %q", s)
+	}
+	return m, nil
+}
+
+// Params configures one load run.
+type Params struct {
+	// Addr is the dsdb server address.
+	Addr string
+	// Clients is the number of concurrent closed-loop sessions
+	// (default 1).
+	Clients int
+	// Rounds is how many times each client runs the whole mix,
+	// measured (default 1).
+	Rounds int
+	// Warmup is how many unmeasured rounds each client runs first.
+	Warmup int
+	// Mix is the query mix (default TrainMix).
+	Mix Mix
+	// Seed shuffles each client's query order deterministically
+	// (client i uses Seed+i); 0 keeps the mix order for every client.
+	Seed int64
+	// WaitReady, when positive, retries the first connection for up to
+	// this long — so a load run can start before its server finishes
+	// loading TPC-D.
+	WaitReady time.Duration
+}
+
+// Latency summarizes a latency distribution.
+type Latency struct {
+	P50, P90, P99, Max time.Duration
+}
+
+// QueryStat is the per-query slice of a Summary.
+type QueryStat struct {
+	Label string // "Q3"
+	Count int
+	Rows  int64
+	Lat   Latency
+}
+
+// Summary is the result of one load run.
+type Summary struct {
+	Mix      string
+	Clients  int
+	Rounds   int
+	Warmup   int
+	Queries  int   // measured queries completed
+	Rows     int64 // rows streamed by measured queries
+	Elapsed  time.Duration
+	Lat      Latency
+	PerQuery []QueryStat // ascending by query number
+}
+
+// Throughput returns measured queries per second.
+func (s *Summary) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Elapsed.Seconds()
+}
+
+// sample is one measured query execution.
+type sample struct {
+	num  int
+	rows int64
+	d    time.Duration
+}
+
+// Run executes the load: dial Clients sessions, run Warmup+Rounds
+// loops over the mix on each, and aggregate the measured samples. The
+// context cancels the whole run.
+func Run(ctx context.Context, p Params) (*Summary, error) {
+	if p.Clients <= 0 {
+		p.Clients = 1
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 1
+	}
+	if len(p.Mix.Numbers) == 0 {
+		p.Mix = TrainMix()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Dial every session up front (retrying the first while the server
+	// warms up), so measurement never includes connection setup.
+	dbs := make([]*client.DB, p.Clients)
+	defer func() {
+		for _, db := range dbs {
+			if db != nil {
+				db.Close()
+			}
+		}
+	}()
+	for i := range dbs {
+		db, err := dialReady(ctx, p.Addr, p.WaitReady)
+		if err != nil {
+			return nil, fmt.Errorf("load: client %d: %w", i+1, err)
+		}
+		dbs[i] = db
+	}
+
+	type clientResult struct {
+		samples []sample
+		err     error
+	}
+	results := make([]clientResult, p.Clients)
+	// The first client failure cancels the whole run: the remaining
+	// clients abort their in-flight queries instead of grinding
+	// through rounds whose results will be discarded anyway.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	// Warmup is excluded from measurement entirely: every client
+	// finishes its warmup rounds, then all block on the start barrier
+	// together — the throughput clock covers only the measured phase.
+	var warmupDone sync.WaitGroup
+	warmupDone.Add(p.Clients)
+	startMeasured := make(chan struct{})
+	done := make(chan int, p.Clients)
+	for i := range dbs {
+		go func(i int) {
+			defer func() { done <- i }()
+			res := &results[i]
+			order := clientOrder(p.Mix.Numbers, p.Seed, i)
+			run := func(qn int, measured bool) bool {
+				q, _ := dsdb.TPCDQuery(qn)
+				t0 := time.Now()
+				rows, err := runOne(runCtx, dbs[i], qn, q)
+				if err != nil {
+					res.err = fmt.Errorf("load: client %d Q%d: %w", i+1, qn, err)
+					cancelRun()
+					return false
+				}
+				if measured {
+					res.samples = append(res.samples, sample{num: qn, rows: rows, d: time.Since(t0)})
+				}
+				return true
+			}
+			for round := 0; round < p.Warmup; round++ {
+				for _, qn := range order {
+					if !run(qn, false) {
+						warmupDone.Done()
+						return
+					}
+				}
+			}
+			warmupDone.Done()
+			<-startMeasured
+			if runCtx.Err() != nil {
+				return // another client failed during warmup
+			}
+			for round := 0; round < p.Rounds; round++ {
+				for _, qn := range order {
+					if !run(qn, true) {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	warmupDone.Wait()
+	start := time.Now()
+	close(startMeasured)
+	for range dbs {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	var all []sample
+	var firstErr error
+	for i := range results {
+		if err := results[i].err; err != nil {
+			// Prefer the root cause over the context.Canceled errors the
+			// fail-fast cancellation induced in the other clients.
+			if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+				firstErr = err
+			}
+		}
+		all = append(all, results[i].samples...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return summarize(p, all, elapsed), nil
+}
+
+// dialReady dials, retrying transport-level failures (connection
+// refused while the server is still loading TPC-D) until the
+// deadline. A definitive refusal — the server answered with an error
+// frame, e.g. conn_limit or a protocol-version mismatch — surfaces
+// immediately; more retries cannot fix it.
+func dialReady(ctx context.Context, addr string, wait time.Duration) (*client.DB, error) {
+	db, err := client.Dial(addr)
+	if err == nil || wait <= 0 {
+		return db, err
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		var ef wire.ErrorFrame
+		if errors.As(err, &ef) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+		if db, err = client.Dial(addr); err == nil {
+			return db, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server not ready after %v: %w", wait, err)
+		}
+	}
+}
+
+// clientOrder returns client i's query order: the mix, shuffled by
+// Seed+i when a seed is set (deterministic per client, different
+// across clients — served traffic, not lockstep).
+func clientOrder(nums []int, seed int64, i int) []int {
+	order := append([]int(nil), nums...)
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	return order
+}
+
+// runOne streams one labeled query to completion, counting rows.
+func runOne(ctx context.Context, db *client.DB, qn int, q string) (int64, error) {
+	rows, err := db.QueryLabeled(ctx, fmt.Sprintf("Q%d", qn), q)
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}
+
+// summarize aggregates samples into the report shape.
+func summarize(p Params, all []sample, elapsed time.Duration) *Summary {
+	s := &Summary{
+		Mix:     p.Mix.Name,
+		Clients: p.Clients,
+		Rounds:  p.Rounds,
+		Warmup:  p.Warmup,
+		Queries: len(all),
+		Elapsed: elapsed,
+	}
+	var lats []time.Duration
+	byQuery := make(map[int][]sample)
+	for _, sm := range all {
+		s.Rows += sm.rows
+		lats = append(lats, sm.d)
+		byQuery[sm.num] = append(byQuery[sm.num], sm)
+	}
+	s.Lat = percentiles(lats)
+	nums := make([]int, 0, len(byQuery))
+	for n := range byQuery {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		var qlats []time.Duration
+		var rows int64
+		for _, sm := range byQuery[n] {
+			qlats = append(qlats, sm.d)
+			rows += sm.rows
+		}
+		s.PerQuery = append(s.PerQuery, QueryStat{
+			Label: fmt.Sprintf("Q%d", n),
+			Count: len(byQuery[n]),
+			Rows:  rows,
+			Lat:   percentiles(qlats),
+		})
+	}
+	return s
+}
+
+// percentiles computes the summary points over a sample set. The
+// P-th percentile is the smallest sample ≥ P% of the distribution
+// (nearest-rank), so it is always an observed latency.
+func percentiles(lats []time.Duration) Latency {
+	if len(lats) == 0 {
+		return Latency{}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	rank := func(p float64) time.Duration {
+		i := int(math.Ceil(float64(len(lats))*p)) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return Latency{
+		P50: rank(0.50),
+		P90: rank(0.90),
+		P99: rank(0.99),
+		Max: lats[len(lats)-1],
+	}
+}

@@ -1,0 +1,151 @@
+package load
+
+import (
+	"context"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/server"
+)
+
+// Regenerate the golden file after an intentional formatting change:
+//
+//	go test ./dsdb/load -run TestReportGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the dsload report golden file under testdata/")
+
+// TestReportGolden pins the dsload summary format byte for byte, the
+// same convention as the stcpipe report goldens: the numbers in a real
+// run vary, so the golden renders a fixed synthetic summary covering
+// every formatting branch (µs, ms and s durations included).
+func TestReportGolden(t *testing.T) {
+	s := &Summary{
+		Mix:     "train",
+		Clients: 4,
+		Rounds:  5,
+		Warmup:  1,
+		Queries: 100,
+		Rows:    12345,
+		Elapsed: 2500 * time.Millisecond,
+		Lat:     Latency{P50: 1200 * time.Microsecond, P90: 3400 * time.Microsecond, P99: 5600 * time.Microsecond, Max: 1200 * time.Millisecond},
+		PerQuery: []QueryStat{
+			{Label: "Q3", Count: 20, Rows: 200, Lat: Latency{P50: 950 * time.Microsecond, P90: 1100 * time.Microsecond, P99: 2300 * time.Microsecond, Max: 2400 * time.Microsecond}},
+			{Label: "Q4", Count: 20, Rows: 45, Lat: Latency{P50: 1 * time.Millisecond, P90: 2 * time.Millisecond, P99: 3 * time.Millisecond, Max: 4 * time.Millisecond}},
+			{Label: "Q6", Count: 60, Rows: 12100, Lat: Latency{P50: 2 * time.Second, P90: 2100 * time.Millisecond, P99: 2200 * time.Millisecond, Max: 2300 * time.Millisecond}},
+		},
+	}
+	got := s.Report()
+	path := filepath.Join("testdata", "summary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dsload report drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestParseMix covers the named mixes and explicit number lists.
+func TestParseMix(t *testing.T) {
+	if m, err := ParseMix("train"); err != nil || len(m.Numbers) != 5 {
+		t.Fatalf("train: %v %v", m, err)
+	}
+	if m, err := ParseMix("test"); err != nil || len(m.Numbers) != 10 {
+		t.Fatalf("test: %v %v", m, err)
+	}
+	if m, err := ParseMix("3, 4,6"); err != nil || len(m.Numbers) != 3 || m.Numbers[2] != 6 {
+		t.Fatalf("3,4,6: %v %v", m, err)
+	}
+	for _, bad := range []string{"", "x", "7", "3,nope"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPercentilesNearestRank checks the percentile points are always
+// observed samples with correct ranks.
+func TestPercentilesNearestRank(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	got := percentiles(lats)
+	want := Latency{P50: 50 * time.Millisecond, P90: 90 * time.Millisecond, P99: 99 * time.Millisecond, Max: 100 * time.Millisecond}
+	if got != want {
+		t.Fatalf("percentiles = %+v, want %+v", got, want)
+	}
+	if (percentiles(nil) != Latency{}) {
+		t.Fatal("empty sample set must yield zero latencies")
+	}
+	one := percentiles([]time.Duration{7 * time.Millisecond})
+	if one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond {
+		t.Fatalf("single sample: %+v", one)
+	}
+	// Nearest-rank with fractional n*p: ceil, not round. For 9 samples
+	// the p90 is the 9th (ceil(8.1)=9), the smallest sample that ≥90%
+	// of the distribution does not exceed.
+	nine := percentiles(lats[:9])
+	if nine.P50 != 5*time.Millisecond || nine.P90 != 9*time.Millisecond || nine.P99 != 9*time.Millisecond {
+		t.Fatalf("nine samples: %+v", nine)
+	}
+}
+
+// TestRunAgainstLiveServer drives a small closed-loop run end to end:
+// 2 clients × (1 warmup + 2 measured) rounds of a 2-query mix against
+// an in-process server, checking the summary accounts for exactly the
+// measured queries.
+func TestRunAgainstLiveServer(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sum, err := Run(context.Background(), Params{
+		Addr:    ln.Addr().String(),
+		Clients: 2,
+		Rounds:  2,
+		Warmup:  1,
+		Mix:     Mix{Name: "smoke", Numbers: []int{6, 3}},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := 2 * 2 * 2; sum.Queries != want { // clients × rounds × mix
+		t.Fatalf("measured %d queries, want %d", sum.Queries, want)
+	}
+	if len(sum.PerQuery) != 2 || sum.PerQuery[0].Label != "Q3" || sum.PerQuery[1].Label != "Q6" {
+		t.Fatalf("per-query stats malformed: %+v", sum.PerQuery)
+	}
+	if sum.PerQuery[0].Count != 4 || sum.PerQuery[1].Count != 4 {
+		t.Fatalf("per-query counts: %+v", sum.PerQuery)
+	}
+	if sum.Lat.Max <= 0 || sum.Throughput() <= 0 {
+		t.Fatalf("degenerate summary: %+v", sum)
+	}
+	// The report must render without panicking and mention the mix.
+	if rep := sum.Report(); len(rep) == 0 {
+		t.Fatal("empty report")
+	}
+}

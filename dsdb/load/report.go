@@ -1,0 +1,48 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// fmtDur renders a duration with a fixed, unit-scaled precision so
+// reports line up: microseconds below 1ms, two-decimal milliseconds
+// below 1s, two-decimal seconds above.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// fmtLat renders one latency line segment.
+func fmtLat(l Latency) string {
+	return fmt.Sprintf("p50 %-9s p90 %-9s p99 %-9s max %s",
+		fmtDur(l.P50), fmtDur(l.P90), fmtDur(l.P99), fmtDur(l.Max))
+}
+
+// Report renders the run summary in the fixed format pinned by the
+// golden-file test (testdata/summary.golden): header line, aggregate
+// block, then one line per query of the mix.
+func (s *Summary) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dsload: mix=%s clients=%d rounds=%d warmup=%d\n",
+		s.Mix, s.Clients, s.Rounds, s.Warmup)
+	fmt.Fprintf(&b, "queries    : %d\n", s.Queries)
+	fmt.Fprintf(&b, "rows       : %d\n", s.Rows)
+	fmt.Fprintf(&b, "elapsed    : %s\n", fmtDur(s.Elapsed))
+	fmt.Fprintf(&b, "throughput : %.1f queries/s\n", s.Throughput())
+	fmt.Fprintf(&b, "latency    : %s\n", fmtLat(s.Lat))
+	if len(s.PerQuery) > 0 {
+		b.WriteString("per query:\n")
+		for _, q := range s.PerQuery {
+			fmt.Fprintf(&b, "  %-4s count %-5d rows %-8d %s\n", q.Label, q.Count, q.Rows, fmtLat(q.Lat))
+		}
+	}
+	return b.String()
+}

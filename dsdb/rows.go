@@ -188,6 +188,13 @@ func (r *Rows) Scan(dest ...any) error {
 	return scanRow(r.cur, r.stmt.cols, dest)
 }
 
+// ScanRow copies one materialized row into the destinations — the
+// conversion kernel behind Rows.Scan and Row.Scan, exported so remote
+// result sets (dsdb/client) scan with identical semantics.
+func ScanRow(vals []Value, cols []string, dest ...any) error {
+	return scanRow(vals, cols, dest)
+}
+
 // scanRow copies one row into the destinations (shared by Rows.Scan
 // and Row.Scan).
 func scanRow(vals []Value, cols []string, dest []any) error {
@@ -306,6 +313,13 @@ type Row struct {
 	cols []string
 	err  error
 }
+
+// NewRow wraps one materialized row — used by remote clients
+// (dsdb/client) to mirror QueryRow semantics exactly.
+func NewRow(vals []Value, cols []string) *Row { return &Row{vals: vals, cols: cols} }
+
+// NewErrRow wraps a deferred query error in a Row (see NewRow).
+func NewErrRow(err error) *Row { return &Row{err: err} }
 
 // Scan copies the row into dest (see Rows.Scan).
 func (r *Row) Scan(dest ...any) error {

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/wire"
+)
+
+// conn is one served connection: one session over the shared DB.
+type conn struct {
+	srv   *Server
+	id    int
+	nc    net.Conn
+	w     *bufio.Writer
+	hooks SessionHooks
+
+	// frames is fed by readLoop; closed when the socket dies. Its
+	// buffer is what lets a Cancel frame arrive while the handler is
+	// busy streaming rows. done tells readLoop the handler is gone, so
+	// it never blocks forever sending to a channel nobody reads.
+	frames  chan wire.Frame
+	done    chan struct{}
+	readErr error
+
+	// qmu guards the query-cancellation state below. qseen counts
+	// Query/QueryStmt frames as readLoop decodes them; qcur counts
+	// them as the handler starts executing them. A Cancel frame aims
+	// at query #qseen: if that query is running (qcur == qseen) its
+	// context is cancelled on the spot; if the handler has not reached
+	// it yet, pendingCancel arms so queryCtx starts it pre-cancelled.
+	// Attributing cancels by sequence number is what keeps a stray
+	// Cancel — one that raced with the query's own completion — from
+	// ever cancelling the next query.
+	qmu           sync.Mutex
+	qcancel       context.CancelFunc
+	qseen         uint64
+	qcur          uint64
+	pendingCancel uint64
+
+	stmts      map[uint32]*dsdb.Stmt
+	stmtCols   map[uint32][]string
+	nextStmtID uint32
+}
+
+// readLoop decodes frames off the socket into c.frames until the
+// connection dies or the handler exits. Cancel frames additionally
+// fire (or arm, via pendingCancel) the target query's context right
+// here, before enqueueing: the handler may be blocked deep inside
+// rows.Next() — a single-row aggregate does all its work there —
+// where it cannot poll the frame channel, but the executor's
+// Interrupt hook reacts to the context. The Cancel frame is still
+// enqueued so the handler consumes it in order and stray cancels
+// stay harmless no-ops.
+func (c *conn) readLoop() {
+	for {
+		fr, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			c.readErr = err
+			close(c.frames)
+			return
+		}
+		switch fr.Kind {
+		case wire.KindQuery, wire.KindQueryStmt:
+			c.qmu.Lock()
+			c.qseen++
+			c.qmu.Unlock()
+		case wire.KindCancel:
+			c.qmu.Lock()
+			c.pendingCancel = c.qseen
+			if c.qcancel != nil && c.qcur == c.qseen {
+				c.qcancel()
+			}
+			c.qmu.Unlock()
+		}
+		select {
+		case c.frames <- fr:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// send writes one frame and flushes it out.
+func (c *conn) send(k wire.Kind, payload []byte) error {
+	if err := wire.WriteFrame(c.w, k, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// sendError reports a query-level failure; the connection survives.
+func (c *conn) sendError(code, msg string) error {
+	return c.send(wire.KindError, wire.EncodeError(wire.ErrorFrame{Code: code, Message: msg}))
+}
+
+// serve runs the session: handshake, then one request at a time until
+// the client quits, the socket dies, a protocol violation occurs, or
+// the server drains.
+func (c *conn) serve() {
+	defer close(c.done)
+	defer c.nc.Close()
+	defer func() {
+		if c.hooks.OnClose != nil {
+			c.hooks.OnClose()
+		}
+	}()
+	if err := c.handshake(); err != nil {
+		return
+	}
+	for {
+		var fr wire.Frame
+		var ok bool
+		select {
+		case fr, ok = <-c.frames:
+			if !ok {
+				return // socket closed, client gone
+			}
+		case <-c.srv.drainCh:
+			return // Shutdown: exit at the frame boundary
+		}
+		var err error
+		switch fr.Kind {
+		case wire.KindQuery:
+			var q wire.Query
+			if q, err = wire.DecodeQuery(fr.Payload); err == nil {
+				err = c.handleQuery(q)
+			}
+		case wire.KindPrepare:
+			var p wire.Prepare
+			if p, err = wire.DecodePrepare(fr.Payload); err == nil {
+				err = c.handlePrepare(p)
+			}
+		case wire.KindQueryStmt:
+			var q wire.QueryStmt
+			if q, err = wire.DecodeQueryStmt(fr.Payload); err == nil {
+				err = c.handleQueryStmt(q)
+			}
+		case wire.KindCloseStmt:
+			var cl wire.CloseStmt
+			if cl, err = wire.DecodeCloseStmt(fr.Payload); err == nil {
+				delete(c.stmts, cl.StmtID)
+				delete(c.stmtCols, cl.StmtID)
+			}
+		case wire.KindCancel:
+			// Stray cancel: the query it aimed at already finished.
+		case wire.KindQuit:
+			return
+		default:
+			err = fmt.Errorf("unexpected %s frame", fr.Kind)
+		}
+		if err != nil {
+			c.sendError(wire.CodeProto, err.Error())
+			return
+		}
+		// Drain at the query boundary once the server is shutting
+		// down (the blocking select above covers the idle case).
+		select {
+		case <-c.srv.drainCh:
+			return
+		default:
+		}
+	}
+}
+
+// handshake consumes the Hello frame and acknowledges the session.
+func (c *conn) handshake() error {
+	var fr wire.Frame
+	var ok bool
+	select {
+	case fr, ok = <-c.frames:
+		if !ok {
+			return c.readErr
+		}
+	case <-c.srv.drainCh:
+		return errors.New("server: draining")
+	}
+
+	if fr.Kind != wire.KindHello {
+		c.sendError(wire.CodeProto, fmt.Sprintf("expected Hello, got %s", fr.Kind))
+		return errors.New("server: bad handshake")
+	}
+	h, err := wire.DecodeHello(fr.Payload)
+	if err != nil {
+		c.sendError(wire.CodeProto, err.Error())
+		return err
+	}
+	if h.Version != wire.ProtocolVersion {
+		c.sendError(wire.CodeProto, fmt.Sprintf("protocol version %d unsupported (want %d)", h.Version, wire.ProtocolVersion))
+		return errors.New("server: version mismatch")
+	}
+	// Session established: lift the handshake read deadline (an
+	// authenticated-in-protocol idle session may sit as long as it
+	// likes, like any database connection).
+	c.nc.SetReadDeadline(time.Time{})
+	return c.send(wire.KindHelloOK, wire.EncodeHelloOK(wire.HelloOK{
+		Version:   wire.ProtocolVersion,
+		SessionID: uint32(c.id),
+	}))
+}
+
+// queryCtx builds the per-query context (server-side deadline, if
+// configured) and registers its cancel for readLoop's Cancel handling
+// and Shutdown's force path. A Cancel frame that arrived before the
+// handler got here (pendingCancel armed for this sequence number)
+// starts the query already cancelled.
+func (c *conn) queryCtx() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if d := c.srv.cfg.queryTimeout; d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	c.qmu.Lock()
+	c.qcur++
+	c.qcancel = cancel
+	if c.pendingCancel == c.qcur {
+		c.pendingCancel = 0
+		cancel()
+	}
+	c.qmu.Unlock()
+	return ctx, func() {
+		c.qmu.Lock()
+		c.qcancel = nil
+		c.qmu.Unlock()
+		cancel()
+	}
+}
+
+// cancelQuery cancels the in-flight query, if any (Shutdown force
+// path).
+func (c *conn) cancelQuery() {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if c.qcancel != nil {
+		c.qcancel()
+	}
+}
+
+// handleQuery executes one-shot SQL. Sessions always run with their
+// own tracer (possibly nil, i.e. untraced) — never the DB-wide one,
+// which is single-threaded and would race across connections.
+func (c *conn) handleQuery(q wire.Query) error {
+	ctx, done := c.queryCtx()
+	defer done()
+	if c.hooks.OnQuery != nil {
+		c.hooks.OnQuery(q.Label)
+	}
+	rows, err := c.srv.db.QueryTraced(ctx, c.hooks.Tracer, q.SQL)
+	if err != nil {
+		return c.sendError(queryErrCode(err), err.Error())
+	}
+	return c.streamRows(rows)
+}
+
+// queryErrCode classifies a query failure: cancellations (client
+// Cancel frame, server deadline) get their own code so clients can
+// map them back onto their context's error.
+func queryErrCode(err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return wire.CodeCancelled
+	}
+	return wire.CodeQuery
+}
+
+// handlePrepare compiles a server-side statement.
+func (c *conn) handlePrepare(p wire.Prepare) error {
+	stmt, err := c.srv.db.PrepareTraced(c.hooks.Tracer, p.SQL)
+	if err != nil {
+		return c.sendError(wire.CodeQuery, err.Error())
+	}
+	if c.stmts == nil {
+		c.stmts = make(map[uint32]*dsdb.Stmt)
+		c.stmtCols = make(map[uint32][]string)
+	}
+	c.nextStmtID++
+	id := c.nextStmtID
+	c.stmts[id] = stmt
+	c.stmtCols[id] = stmt.Columns()
+	return c.send(wire.KindPrepareOK, wire.EncodePrepareOK(wire.PrepareOK{
+		StmtID:  id,
+		Columns: c.stmtCols[id],
+	}))
+}
+
+// handleQueryStmt executes a prepared statement.
+func (c *conn) handleQueryStmt(q wire.QueryStmt) error {
+	stmt, ok := c.stmts[q.StmtID]
+	if !ok {
+		// readLoop counted this frame in qseen; consume its sequence
+		// number (and any cancel aimed at it) even though nothing runs.
+		c.qmu.Lock()
+		c.qcur++
+		if c.pendingCancel == c.qcur {
+			c.pendingCancel = 0
+		}
+		c.qmu.Unlock()
+		return c.sendError(wire.CodeQuery, fmt.Sprintf("unknown statement %d", q.StmtID))
+	}
+	ctx, done := c.queryCtx()
+	defer done()
+	if c.hooks.OnQuery != nil {
+		c.hooks.OnQuery(q.Label)
+	}
+	rows, err := stmt.Query(ctx)
+	if err != nil {
+		return c.sendError(queryErrCode(err), err.Error())
+	}
+	return c.streamRows(rows)
+}
+
+// streamRows sends RowHeader + RowBatch* + (Done | Error) for one
+// result set, polling for a client Cancel between batches. A non-nil
+// return means the connection itself is unusable (write failure or
+// protocol violation); query-level failures are reported in-stream
+// and return nil.
+func (c *conn) streamRows(rows *dsdb.Rows) error {
+	defer rows.Close()
+	cancel := c.cancelQuery
+	if err := c.send(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: rows.Columns()})); err != nil {
+		return err
+	}
+	batch := make([][]dsdb.Value, 0, wire.BatchRows)
+	var count uint64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := c.send(wire.KindRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: batch}))
+		batch = batch[:0]
+		return err
+	}
+	for rows.Next() {
+		// A Cancel (or premature Quit) may overtake the stream: the
+		// reader goroutine keeps decoding while we emit, so poll
+		// without blocking.
+		select {
+		case fr, ok := <-c.frames:
+			if !ok {
+				cancel() // client vanished mid-stream: stop the query
+				return c.readErr
+			}
+			switch fr.Kind {
+			case wire.KindCancel, wire.KindQuit:
+				cancel()
+			default:
+				cancel()
+				return fmt.Errorf("unexpected %s frame during result stream", fr.Kind)
+			}
+		default:
+		}
+		batch = append(batch, rows.Values())
+		count++
+		if len(batch) == wire.BatchRows {
+			if err := flush(); err != nil {
+				cancel()
+				return err
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// Drop the unsent tail: the stream ends with the error marker.
+		return c.sendError(queryErrCode(err), err.Error())
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count}))
+}

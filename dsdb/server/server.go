@@ -1,0 +1,262 @@
+// Package server serves a dsdb database over the wire protocol
+// (dsdb/wire): a TCP listener maps every accepted connection onto one
+// per-session dsdb context — its own statements, its own per-query
+// deadline, and optionally its own instrumentation tracer — so the
+// concurrency model is exactly PR 2's "one DB, N sessions", stretched
+// across the network.
+//
+//	db, _ := dsdb.Open(dsdb.WithTPCD(0.001))
+//	srv := server.New(db)
+//	go srv.ListenAndServe("127.0.0.1:5454")
+//	...
+//	srv.Shutdown(ctx) // drain at query boundaries, then close
+//
+// Each connection is handled by two goroutines: a reader that decodes
+// frames into a channel and a handler that executes them, which is
+// what lets a Cancel frame overtake an in-flight result stream. One
+// query runs at a time per connection (the wire protocol is
+// synchronous); concurrency comes from many connections, bounded by
+// WithMaxConns.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/wire"
+)
+
+// SessionHooks instruments one server-side session (one connection).
+// The zero value is a plain uninstrumented session.
+type SessionHooks struct {
+	// Tracer, when non-nil, records this session's kernel
+	// instrumentation events: every query on the connection runs via
+	// QueryTraced/PrepareTraced. The tracer is only ever used from the
+	// connection's handler goroutine, so a single-threaded tracer
+	// (kernel session recorders included) is safe.
+	Tracer dsdb.Tracer
+	// OnQuery, when non-nil, is called just before each query starts
+	// executing, with the client-supplied label (stcpipe uses it to
+	// mark query boundaries in the session trace).
+	OnQuery func(label string)
+	// OnClose, when non-nil, runs when the session ends.
+	OnClose func()
+}
+
+// config collects the server options.
+type config struct {
+	maxConns     int
+	queryTimeout time.Duration
+	newSession   func(id int) SessionHooks
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithMaxConns bounds concurrently served connections (default 64).
+// Excess connections are refused with a conn_limit error frame.
+func WithMaxConns(n int) Option {
+	return func(c *config) { c.maxConns = n }
+}
+
+// WithQueryTimeout sets the per-query context deadline (default none).
+// A query that exceeds it is cancelled server-side and its stream ends
+// with a cancelled error frame.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(c *config) { c.queryTimeout = d }
+}
+
+// WithSessionHooks installs a per-session instrumentation factory,
+// called once per accepted connection with a session id that counts up
+// from 1 in accept order.
+func WithSessionHooks(f func(id int) SessionHooks) Option {
+	return func(c *config) { c.newSession = f }
+}
+
+// Server serves one dsdb.DB over TCP.
+type Server struct {
+	db  *dsdb.DB
+	cfg config
+
+	// drainCh is closed by Shutdown; connection handlers select on it
+	// at every frame boundary, so draining never interrupts an
+	// in-flight query but stops everything between queries.
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	nextID   int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New wraps db in a server. The db stays usable directly (in-process
+// queries and served queries share the engine, per PR 2's model).
+func New(db *dsdb.DB, opts ...Option) *Server {
+	cfg := config{maxConns: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Server{db: db, cfg: cfg, conns: make(map[*conn]struct{}), drainCh: make(chan struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// handshakeTimeout bounds how long an accepted connection may sit
+// without completing the Hello exchange.
+const handshakeTimeout = 10 * time.Second
+
+// ListenAndServe listens on addr and serves until Shutdown/Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean shutdown, ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// startConn admits or refuses a fresh connection.
+func (s *Server) startConn(nc net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		refuse(nc, wire.CodeShutdown, "server is shutting down")
+		return
+	}
+	if len(s.conns) >= s.cfg.maxConns {
+		s.mu.Unlock()
+		refuse(nc, wire.CodeConnLimit, fmt.Sprintf("connection limit %d reached", s.cfg.maxConns))
+		return
+	}
+	s.nextID++
+	c := &conn{
+		srv:    s,
+		id:     s.nextID,
+		nc:     nc,
+		w:      bufio.NewWriter(nc),
+		frames: make(chan wire.Frame, 4),
+		done:   make(chan struct{}),
+	}
+	// A connection that never says Hello must not hold a conn-limit
+	// slot forever: the deadline bounds the handshake read and is
+	// cleared once the session is established.
+	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if s.cfg.newSession != nil {
+		c.hooks = s.cfg.newSession(c.id)
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go c.readLoop()
+	go func() {
+		defer s.wg.Done()
+		c.serve()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+}
+
+// refuse sends one error frame and closes the socket.
+func refuse(nc net.Conn, code, msg string) {
+	w := bufio.NewWriter(nc)
+	if wire.WriteFrame(w, wire.KindError, wire.EncodeError(wire.ErrorFrame{Code: code, Message: msg})) == nil {
+		w.Flush()
+	}
+	nc.Close()
+}
+
+// Shutdown stops accepting connections and drains the served ones:
+// each connection finishes its in-flight query (result stream
+// completes), then closes at the next frame boundary — idle handlers
+// see the drain signal immediately, busy ones right after their
+// current query. When ctx expires first, remaining queries are
+// cancelled and their connections force-closed. Returns nil on a
+// clean drain, ctx.Err() after a forced one.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if !already {
+		close(s.drainCh)
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.cancelQuery()
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes the listener and every connection without
+// draining.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

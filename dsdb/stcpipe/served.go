@@ -1,0 +1,147 @@
+package stcpipe
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+	"repro/dsdb/server"
+	"repro/internal/kernel"
+)
+
+// ProfileServed traces the workload under served traffic: it stands up
+// an in-process dsdb/server over db, connects sessions wire clients
+// (dsdb/client), and has each client run the whole workload as a
+// closed loop while the server records one kernel instruction trace
+// per connection — the scenario cmd/dsdbd + cmd/dsload exercise, with
+// tracing attached. The per-session traces are then interleaved at
+// query boundaries, round-robin in session order, exactly like
+// ProfileConcurrent — modeling the server context-switching between
+// remote clients on one instruction stream.
+//
+// The run starts with one serial untraced pass over the workload so
+// every page the queries touch is buffer-resident before tracing
+// begins. With a pool that holds the workload's working set (true at
+// the paper's scale factors), every traced buffer access is then a
+// hit regardless of how the served sessions interleave, so the same
+// database options, seed and query mix always produce an identical
+// merged profile — deterministic, like every other profile in the
+// pipeline, and usable the same way: Layout to train, Simulate to
+// replay.
+//
+// Like ProfileConcurrent, the returned profile is immutable (Run
+// rejects it).
+func (p *Pipeline) ProfileServed(db *dsdb.DB, sessions int, w Workload) (*Profile, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("stcpipe: need at least 1 session, got %d", sessions)
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("stcpipe: workload %q has no queries", w.Name)
+	}
+
+	// Warmup pass: untraced, serial, in-process. See the doc comment.
+	for i, q := range w.Queries {
+		if err := drainTraced(db, nil, q); err != nil {
+			return nil, fmt.Errorf("stcpipe: served warmup query %d: %w", i+1, err)
+		}
+	}
+
+	// Per-connection kernel sessions, keyed by the server's accept-order
+	// session id. Clients dial sequentially below, so id k is client k.
+	var mu sync.Mutex
+	byID := make(map[int]*kernel.Session)
+	srv := server.New(db,
+		server.WithMaxConns(sessions),
+		server.WithSessionHooks(func(id int) server.SessionHooks {
+			ses := p.img.NewSession(p.validate)
+			mu.Lock()
+			byID[id] = ses
+			mu.Unlock()
+			return server.SessionHooks{Tracer: ses, OnQuery: ses.Mark}
+		}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("stcpipe: served listener: %w", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	clients := make([]*client.DB, 0, sessions)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < sessions; i++ {
+		c, err := client.Dial(ln.Addr().String())
+		if err != nil {
+			return nil, fmt.Errorf("stcpipe: served client %d: %w", i+1, err)
+		}
+		clients = append(clients, c)
+	}
+
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.DB) {
+			defer wg.Done()
+			for qi, q := range w.Queries {
+				label := sessionLabel(w, i, qi)
+				rows, err := c.QueryLabeled(context.Background(), label, q)
+				if err != nil {
+					errs[i] = fmt.Errorf("stcpipe: %s: %w", label, err)
+					return
+				}
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					errs[i] = fmt.Errorf("stcpipe: %s: %w", label, err)
+					return
+				}
+				rows.Close()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return nil, fmt.Errorf("stcpipe: served shutdown: %w", err)
+	}
+
+	mu.Lock()
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sess := make([]*kernel.Session, 0, len(ids))
+	for _, id := range ids {
+		sess = append(sess, byID[id])
+	}
+	mu.Unlock()
+	if len(sess) != sessions {
+		return nil, fmt.Errorf("stcpipe: served %d sessions, expected %d", len(sess), sessions)
+	}
+	for i, ses := range sess {
+		if err := ses.Err(); err != nil {
+			return nil, fmt.Errorf("stcpipe: served session %d: trace: %w", i+1, err)
+		}
+		if got := len(ses.Trace().Marks); got != len(w.Queries) {
+			return nil, fmt.Errorf("stcpipe: served session %d recorded %d query marks, expected %d",
+				i+1, got, len(w.Queries))
+		}
+	}
+	return &Profile{pipe: p, tr: interleaveSessions(p.img.Prog, sess, len(w.Queries))}, nil
+}

@@ -165,11 +165,7 @@ func (p *Pipeline) ProfileConcurrent(db *dsdb.DB, sessions int, w Workload) (*Pr
 			defer wg.Done()
 			ses := sess[i]
 			for qi, q := range w.Queries {
-				label := fmt.Sprintf("%s-%d", w.Name, qi+1)
-				if qi < len(w.Labels) {
-					label = w.Labels[qi]
-				}
-				label = fmt.Sprintf("s%d-%s", i+1, label)
+				label := sessionLabel(w, i, qi)
 				ses.Mark(label)
 				if err := drainTraced(db, ses, q); err != nil {
 					errs[i] = fmt.Errorf("stcpipe: %s: %w", label, err)
@@ -189,6 +185,18 @@ func (p *Pipeline) ProfileConcurrent(db *dsdb.DB, sessions int, w Workload) (*Pr
 		}
 	}
 	return &Profile{pipe: p, tr: interleaveSessions(p.img.Prog, sess, len(w.Queries))}, nil
+}
+
+// sessionLabel names query qi of session i (0-based) in a
+// multi-session trace: the workload's per-query label prefixed with
+// the session — "s2-train-Q4". ProfileConcurrent and ProfileServed
+// share it, so their interleaved traces mark identically.
+func sessionLabel(w Workload, i, qi int) string {
+	label := fmt.Sprintf("%s-%d", w.Name, qi+1)
+	if qi < len(w.Labels) {
+		label = w.Labels[qi]
+	}
+	return fmt.Sprintf("s%d-%s", i+1, label)
 }
 
 // interleaveSessions merges per-session traces round-robin at query

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/dsdb"
+)
+
+// FuzzDecodeFrame asserts the frame decoder never panics: arbitrary
+// bytes fed to ReadFrame + DecodePayload must come back as frames or
+// errors, nothing else. Malformed lengths and truncated frames must
+// error (a frame claiming more content than the stream holds can never
+// "succeed" by reading short). The seed corpus covers every encodable
+// frame kind plus the classic trip-ups: oversize length prefixes,
+// truncated payloads, unknown kinds and tags, and multi-frame streams
+// cut mid-frame.
+func FuzzDecodeFrame(f *testing.F) {
+	frame := func(k Kind, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, k, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seeds := [][]byte{
+		{},
+		{0x00},
+		{0x00, 0x00, 0x00, 0x00},       // zero-length frame
+		{0xff, 0xff, 0xff, 0xff, 0x01}, // oversize length prefix
+		{0x00, 0x00, 0x00, 0x05, 0x03}, // claims 5 bytes, stream has 1
+		frame(KindHello, EncodeHello(Hello{Version: ProtocolVersion})),
+		frame(KindHelloOK, EncodeHelloOK(HelloOK{Version: 1, SessionID: 9})),
+		frame(KindQuery, EncodeQuery(Query{Label: "train-Q3", SQL: "select sum(l_extendedprice) from lineitem"})),
+		frame(KindPrepare, EncodePrepare(Prepare{SQL: "select * from part where p_size = 15"})),
+		frame(KindPrepareOK, EncodePrepareOK(PrepareOK{StmtID: 1, Columns: []string{"a", "b", "c"}})),
+		frame(KindQueryStmt, EncodeQueryStmt(QueryStmt{StmtID: 1, Label: "s2-test-Q17"})),
+		frame(KindCloseStmt, EncodeCloseStmt(CloseStmt{StmtID: 1})),
+		frame(KindRowHeader, EncodeRowHeader(RowHeader{Columns: []string{"n_name", "revenue"}})),
+		frame(KindRowBatch, EncodeRowBatch(RowBatch{Rows: [][]dsdb.Value{
+			{dsdb.NewInt(1), dsdb.NewFloat(2.5), dsdb.NewStr("x"), dsdb.NewNull()},
+			{dsdb.NewDate(9131), dsdb.Value{T: dsdb.Bool, I: 1}},
+		}})),
+		frame(KindDone, EncodeDone(Done{RowCount: 1 << 40})),
+		frame(KindError, EncodeError(ErrorFrame{Code: CodeCancelled, Message: "context canceled"})),
+		frame(KindCancel, nil),
+		frame(KindQuit, nil),
+		frame(0x7f, []byte("unknown kind payload")),
+		frame(KindRowBatch, []byte{0xff, 0xff}), // claims 65535 rows, provides none
+		frame(KindQuery, []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}), // huge uvarint
+		append(frame(KindCancel, nil), frame(KindQuery, EncodeQuery(Query{SQL: "select 1"}))[:7]...),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			before := r.Len()
+			fr, err := ReadFrame(r)
+			if err != nil {
+				// Any malformed or truncated stream must surface as an
+				// error — fine — but never by claiming a clean EOF with
+				// bytes still unread mid-frame.
+				if err == io.EOF && before != r.Len() && r.Len() > 0 {
+					t.Fatalf("io.EOF with %d bytes unread", r.Len())
+				}
+				return
+			}
+			// A parsed frame's length prefix must be internally
+			// consistent with what the payload decoder consumes.
+			if len(fr.Payload)+1 > MaxFrame {
+				t.Fatalf("frame of %d bytes escaped the MaxFrame guard", len(fr.Payload)+1)
+			}
+			if _, err := DecodePayload(fr); err != nil {
+				// Malformed payloads error; the stream position is still
+				// frame-aligned, so keep scanning subsequent frames.
+				continue
+			}
+		}
+	})
+}

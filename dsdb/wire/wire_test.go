@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/dsdb"
+)
+
+// TestFrameRoundTrip writes every frame kind and reads it back.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []struct {
+		kind    Kind
+		payload []byte
+		want    any
+	}{
+		{KindHello, EncodeHello(Hello{Version: ProtocolVersion}), Hello{Version: ProtocolVersion}},
+		{KindHelloOK, EncodeHelloOK(HelloOK{Version: 1, SessionID: 7}), HelloOK{Version: 1, SessionID: 7}},
+		{KindQuery, EncodeQuery(Query{Label: "Q6", SQL: "select 1"}), Query{Label: "Q6", SQL: "select 1"}},
+		{KindPrepare, EncodePrepare(Prepare{SQL: "select 2"}), Prepare{SQL: "select 2"}},
+		{KindPrepareOK, EncodePrepareOK(PrepareOK{StmtID: 3, Columns: []string{"a", "b"}}),
+			PrepareOK{StmtID: 3, Columns: []string{"a", "b"}}},
+		{KindQueryStmt, EncodeQueryStmt(QueryStmt{StmtID: 3, Label: "x"}), QueryStmt{StmtID: 3, Label: "x"}},
+		{KindCloseStmt, EncodeCloseStmt(CloseStmt{StmtID: 3}), CloseStmt{StmtID: 3}},
+		{KindRowHeader, EncodeRowHeader(RowHeader{Columns: []string{"n_name", "revenue"}}),
+			RowHeader{Columns: []string{"n_name", "revenue"}}},
+		{KindDone, EncodeDone(Done{RowCount: 42}), Done{RowCount: 42}},
+		{KindError, EncodeError(ErrorFrame{Code: CodeQuery, Message: "boom"}),
+			ErrorFrame{Code: CodeQuery, Message: "boom"}},
+		{KindCancel, nil, nil},
+		{KindQuit, nil, nil},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.kind, f.payload); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", f.kind, err)
+		}
+	}
+	for _, f := range frames {
+		fr, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%s): %v", f.kind, err)
+		}
+		if fr.Kind != f.kind {
+			t.Fatalf("kind = %s, want %s", fr.Kind, f.kind)
+		}
+		got, err := DecodePayload(fr)
+		if err != nil {
+			t.Fatalf("DecodePayload(%s): %v", f.kind, err)
+		}
+		if !reflect.DeepEqual(got, f.want) {
+			t.Fatalf("%s round trip: got %#v, want %#v", f.kind, got, f.want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestValueRoundTrip checks every value type survives the wire
+// bit-for-bit — the foundation of the byte-identical server results.
+func TestValueRoundTrip(t *testing.T) {
+	rows := [][]dsdb.Value{
+		{dsdb.NewInt(-5), dsdb.NewFloat(math.Pi), dsdb.NewStr("héllo 💥"), dsdb.NewNull()},
+		{dsdb.NewDate(9000), dsdb.Value{T: dsdb.Bool, I: 1}, dsdb.NewStr(""), dsdb.NewFloat(math.Copysign(0, -1))},
+	}
+	p := EncodeRowBatch(RowBatch{Rows: rows})
+	got, err := DecodeRowBatch(p)
+	if err != nil {
+		t.Fatalf("DecodeRowBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got.Rows, rows) {
+		t.Fatalf("rows drifted over the wire:\ngot  %#v\nwant %#v", got.Rows, rows)
+	}
+	// -0.0 must stay -0.0 (bit-exact, not Compare-equal).
+	if math.Float64bits(got.Rows[1][3].F) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatal("-0.0 lost its sign bit")
+	}
+}
+
+// TestReadFrameRejectsOversize checks the MaxFrame guard fires before
+// any allocation.
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:4], 0)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:4])); err == nil {
+		t.Fatal("zero-length frame must error")
+	}
+}
+
+// TestReadFrameTruncated checks a stream cut mid-frame errors rather
+// than blocking or succeeding.
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindQuery, EncodeQuery(Query{SQL: "select 1"})); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("frame truncated at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+// TestDecoderMalformed checks typed decoders reject truncations,
+// unknown tags and trailing garbage.
+func TestDecoderMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		err  bool
+		f    func() (any, error)
+	}{
+		{"hello bad magic", true, func() (any, error) {
+			var e Encoder
+			e.U32(0xdeadbeef)
+			e.U16(1)
+			return DecodeHello(e.Bytes())
+		}},
+		{"query truncated", true, func() (any, error) { return DecodeQuery([]byte{0x05, 'a'}) }},
+		{"string length overflow", true, func() (any, error) {
+			return DecodeQuery(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 'x'))
+		}},
+		{"value unknown tag", true, func() (any, error) {
+			return DecodeRowBatch([]byte{0x00, 0x01, 0x00, 0x01, 0x99})
+		}},
+		{"trailing garbage", true, func() (any, error) {
+			return DecodeDone(append(EncodeDone(Done{RowCount: 1}), 0x00))
+		}},
+		{"cancel with payload", true, func() (any, error) {
+			return DecodePayload(Frame{Kind: KindCancel, Payload: []byte{1}})
+		}},
+		{"unknown kind", true, func() (any, error) { return DecodePayload(Frame{Kind: 0xEE}) }},
+		{"huge strings count", true, func() (any, error) {
+			var e Encoder
+			e.U16(65535) // claims 65535 columns, provides none
+			return DecodeRowHeader(e.Bytes())
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.f()
+			if c.err && err == nil {
+				t.Fatal("decode accepted malformed payload")
+			}
+		})
+	}
+}
+
+// TestStickyDecoder checks the decoder poisons itself on the first
+// error instead of mis-parsing subsequent fields.
+func TestStickyDecoder(t *testing.T) {
+	d := NewDecoder([]byte{0x01})
+	_ = d.U32() // fails: only one byte
+	if d.Err() == nil {
+		t.Fatal("short U32 must poison the decoder")
+	}
+	if s := d.String(); s != "" {
+		t.Fatalf("poisoned decoder returned %q", s)
+	}
+	if !strings.Contains(d.Err().Error(), "u32") {
+		t.Fatalf("first error not preserved: %v", d.Err())
+	}
+}

@@ -76,24 +76,37 @@ func New(store *storage.Store, n int) *Manager {
 
 // Get pins the given page, reading it from storage on a miss. The
 // tracer receives the ReadBuffer instrumentation events (nil means
-// untraced). The whole lookup-or-read runs under the pool latch, so
-// two sessions racing for an unbuffered page read it once: the loser
-// of the race takes the hit path.
+// untraced). The lookup-or-read decision and the read itself run
+// under the pool latch, so two sessions racing for an unbuffered page
+// read it once: the loser of the race takes the hit path.
+//
+// Hit-path instrumentation is emitted after the latch drops: the
+// tracer is per-session state (sessions are single-threaded), so
+// moving the emits out of the critical section keeps hot hits — the
+// overwhelmingly common case for DSS scans — from serializing
+// concurrent sessions on trace recording. Miss-path emits still run
+// under the latch, interleaved with the eviction they describe; the
+// remaining step toward full concurrency is per-frame IO latches
+// (see ROADMAP).
 func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	tr = probe.Or(tr)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tr.Emit(probe.BufGetEnter)
-	tr.Emit(probe.BufTableLookup)
 	k := key{file, page}
+	m.mu.Lock()
 	if i, ok := m.lookup[k]; ok {
 		m.hits.Inc()
 		f := &m.frames[i]
 		f.pins++
 		f.ref = true
+		b := Buf{Page: f.page, File: file, PageNo: page, idx: i}
+		m.mu.Unlock()
+		tr.Emit(probe.BufGetEnter)
+		tr.Emit(probe.BufTableLookup)
 		tr.Emit(probe.BufGetHit)
-		return Buf{Page: f.page, File: file, PageNo: page, idx: i}, nil
+		return b, nil
 	}
+	defer m.mu.Unlock()
+	tr.Emit(probe.BufGetEnter)
+	tr.Emit(probe.BufTableLookup)
 	m.misses.Inc()
 	tr.Emit(probe.BufGetMiss)
 	i, err := m.evict(tr)

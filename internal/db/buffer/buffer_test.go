@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/db/probe"
 	"repro/internal/db/storage"
 )
 
@@ -257,6 +259,90 @@ func TestConcurrentGetRelease(t *testing.T) {
 	}
 	if misses < pages/4 {
 		t.Fatalf("misses = %d, implausibly low for a %d-frame pool over %d pages", misses, frames, pages)
+	}
+}
+
+// reentrantTracer records probe events while calling back into the
+// pool on every emit. Pool methods take the (non-reentrant) pool
+// mutex, so any emit issued while the mutex is held deadlocks — which
+// is exactly what the hit-path regression test below uses to prove
+// hit emission happens outside the latch.
+type reentrantTracer struct {
+	m      *Manager
+	events []probe.ID
+}
+
+func (t *reentrantTracer) Emit(id probe.ID) {
+	_ = t.m.PinnedFrames() // acquires m.mu; deadlocks if called under it
+	t.events = append(t.events, id)
+}
+
+// TestHitPathEmitsOutsideLatch pins the PR's buffer-pool slice of the
+// latch-granularity roadmap item: the hit path must emit its
+// instrumentation after the pool mutex is released (a tracer that
+// re-enters the pool completes instead of self-deadlocking), the
+// event sequence must be unchanged, and the buffer must already be
+// pinned when the events fire.
+func TestHitPathEmitsOutsideLatch(t *testing.T) {
+	_, m := newEnv(t, 4, 2)
+	// Fault the page in untraced; the traced Get below is a pure hit.
+	b, err := m.Get(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release(b, false)
+
+	tr := &reentrantTracer{m: m}
+	done := make(chan error, 1)
+	go func() {
+		b, err := m.Get(tr, 0, 0)
+		if err == nil {
+			m.Release(b, false)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hit-path Get deadlocked: tracer emission still runs under the pool mutex")
+	}
+	want := []probe.ID{probe.BufGetEnter, probe.BufTableLookup, probe.BufGetHit}
+	if len(tr.events) != len(want) {
+		t.Fatalf("hit path emitted %v, want %v", tr.events, want)
+	}
+	for i, id := range want {
+		if tr.events[i] != id {
+			t.Fatalf("hit path emitted %v, want %v", tr.events, want)
+		}
+	}
+}
+
+// eventTracer records probe IDs without re-entering the pool.
+type eventTracer struct{ events []probe.ID }
+
+func (t *eventTracer) Emit(id probe.ID) { t.events = append(t.events, id) }
+
+// TestMissPathEventSequenceUnchanged pins the miss-path trace shape:
+// reordering the hit emits must not have perturbed the cold path the
+// CFG validation depends on.
+func TestMissPathEventSequenceUnchanged(t *testing.T) {
+	_, m := newEnv(t, 4, 2)
+	tr := &eventTracer{}
+	b, err := m.Get(tr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release(b, false)
+	want := []probe.ID{
+		probe.BufGetEnter, probe.BufTableLookup, probe.BufGetMiss,
+		probe.BufClockEnter, probe.BufClockTake,
+		probe.BufGetRead, probe.SmgrRead, probe.BufGetFill,
+	}
+	if fmt.Sprint(tr.events) != fmt.Sprint(want) {
+		t.Fatalf("miss path emitted %v, want %v", tr.events, want)
 	}
 }
 
