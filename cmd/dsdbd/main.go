@@ -6,6 +6,7 @@
 //
 //	dsdbd -addr 127.0.0.1:5454 -sf 0.002
 //	dsdbd -addr :5454 -hash -max-conns 128 -query-timeout 30s
+//	dsdbd -addr :5454 -result-cache-bytes 67108864   # 64MB result cache
 //
 // Pair it with cmd/dsload for closed-loop load, or dial it from any
 // program via dsdb/client.
@@ -35,6 +36,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 64, "connection limit")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before force-closing")
+	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
 	flag.Parse()
 
 	kind := dsdb.BTree
@@ -42,8 +44,12 @@ func main() {
 		kind = dsdb.Hash
 	}
 	fmt.Fprintf(os.Stderr, "dsdbd: loading TPC-D (SF=%g, %s indices, seed %d)...\n", *sf, kind, *seed)
-	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
-		dsdb.WithSeed(*seed), dsdb.WithBufferFrames(*frames))
+	opts := []dsdb.Option{dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
+		dsdb.WithSeed(*seed), dsdb.WithBufferFrames(*frames)}
+	if *cacheBytes > 0 {
+		opts = append(opts, dsdb.WithResultCache(*cacheBytes))
+	}
+	db, err := dsdb.Open(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,6 +71,10 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("dsdbd: forced shutdown: %v", err)
+		}
+		if st, ok := db.ResultCacheStats(); ok {
+			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations\n",
+				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations)
 		}
 		fmt.Fprintln(os.Stderr, "dsdbd: clean shutdown")
 	case err := <-errc:

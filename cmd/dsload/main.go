@@ -1,13 +1,17 @@
-// Command dsload fires closed-loop TPC-D load at a dsdbd server: N
-// client sessions, each looping over a query mix (train/test/all or an
-// explicit list), with warmup rounds excluded from measurement, then
-// prints the latency/throughput summary whose format is pinned by the
-// dsdb/load golden test.
+// Command dsload fires TPC-D load at a dsdbd server: N client
+// sessions driving a query mix (train/test/all or an explicit list),
+// closed-loop by default or open-loop at a fixed Poisson arrival rate
+// with -arrival-rate, with warmup rounds excluded from measurement,
+// then prints the latency/throughput summary whose format is pinned
+// by the dsdb/load golden tests. Against a server running with a
+// result cache, the summary additionally reports the cache hit ratio
+// and separate cached/uncached latency percentiles.
 //
 // Usage:
 //
 //	dsload -addr 127.0.0.1:5454 -clients 8 -rounds 5 -warmup 1 -mix test
 //	dsload -addr 127.0.0.1:5454 -clients 2 -rounds 1 -mix 3,4,6
+//	dsload -addr 127.0.0.1:5454 -clients 4 -arrival-rate 200 -mix train
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "per-client query-order shuffle seed (0 = mix order)")
 	wait := flag.Duration("wait-ready", 15*time.Second, "how long to retry the first connection while the server loads")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+	arrivalRate := flag.Float64("arrival-rate", 0, "open-loop aggregate Poisson arrival rate in queries/s (0 = closed loop)")
 	flag.Parse()
 
 	mix, err := load.ParseMix(*mixFlag)
@@ -46,13 +51,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dsload: %d clients × %d+%d rounds of mix %s against %s\n",
 		*clients, *warmup, *rounds, mix.Name, *addr)
 	sum, err := load.Run(ctx, load.Params{
-		Addr:      *addr,
-		Clients:   *clients,
-		Rounds:    *rounds,
-		Warmup:    *warmup,
-		Mix:       mix,
-		Seed:      *seed,
-		WaitReady: *wait,
+		Addr:        *addr,
+		Clients:     *clients,
+		Rounds:      *rounds,
+		Warmup:      *warmup,
+		Mix:         mix,
+		Seed:        *seed,
+		WaitReady:   *wait,
+		ArrivalRate: *arrivalRate,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 // Usage: dsquery -sf 0.002 -q 6             (TPC-D query by number)
 //
 //	dsquery -sql "select count(*) from lineitem where l_quantity < 10"
+//	dsquery -q 6 -result-cache-bytes 4194304 -repeat 3   # repeat 2+ hit the cache
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/dsdb"
 )
@@ -25,6 +27,8 @@ func main() {
 	hash := flag.Bool("hash", false, "use the hash-indexed database instead of Btree")
 	seed := flag.Int64("seed", 42, "generator seed")
 	parallel := flag.Int("parallel", 1, "partition-parallel scan workers (1 = serial)")
+	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
+	repeat := flag.Int("repeat", 1, "run the query this many times (rows printed once; repeats show cache hits)")
 	flag.Parse()
 
 	query := *text
@@ -40,34 +44,66 @@ func main() {
 		kind = dsdb.Hash
 	}
 	fmt.Fprintf(os.Stderr, "loading TPC-D (SF=%g, %s indices)...\n", *sf, kind)
-	db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
-		dsdb.WithSeed(*seed), dsdb.WithParallelism(*parallel))
+	opts := []dsdb.Option{dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
+		dsdb.WithSeed(*seed), dsdb.WithParallelism(*parallel)}
+	if *cacheBytes > 0 {
+		opts = append(opts, dsdb.WithResultCache(*cacheBytes))
+	}
+	db, err := dsdb.Open(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := db.Query(context.Background(), query)
-	if err != nil {
-		log.Fatal(err)
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	defer rows.Close()
-	for _, c := range rows.Columns() {
-		fmt.Printf("%-18s", c)
-	}
-	fmt.Println()
-	n := 0
-	for rows.Next() {
-		for _, v := range rows.Values() {
-			fmt.Printf("%-18s", v.String())
+	for run := 1; run <= *repeat; run++ {
+		// Time the query and the drain only — printing happens after
+		// the clock stops, so run 1 (which prints the rows) and the
+		// cache-hit repeats compare like for like.
+		t0 := time.Now()
+		rows, err := db.Query(context.Background(), query)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println()
-		n++
+		var printed [][]dsdb.Value
+		n := 0
+		for rows.Next() {
+			if run == 1 {
+				printed = append(printed, rows.Values())
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			rows.Close()
+			log.Fatal(err)
+		}
+		hit := rows.CacheHit()
+		rows.Close()
+		elapsed := time.Since(t0)
+		if run == 1 {
+			for _, c := range rows.Columns() {
+				fmt.Printf("%-18s", c)
+			}
+			fmt.Println()
+			for _, row := range printed {
+				for _, v := range row {
+					fmt.Printf("%-18s", v.String())
+				}
+				fmt.Println()
+			}
+		}
+		suffix := ""
+		if hit {
+			suffix = ", cache hit"
+		}
+		fmt.Fprintf(os.Stderr, "(run %d: %d rows in %s%s)\n", run, n, elapsed.Round(time.Microsecond), suffix)
 	}
-	if err := rows.Err(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "(%d rows)\n", n)
 	if *parallel > 1 {
 		fmt.Fprintf(os.Stderr, "(parallel workers: %d probe events outside the session trace)\n",
 			db.WorkerProbeEvents())
+	}
+	if st, ok := db.ResultCacheStats(); ok {
+		fmt.Fprintf(os.Stderr, "(result cache: %d hits / %d misses, %d entries, %d/%d bytes)\n",
+			st.Hits, st.Misses, st.Entries, st.UsedBytes, st.MaxBytes)
 	}
 }

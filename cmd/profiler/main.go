@@ -11,6 +11,13 @@
 // sessions as real wire clients against an in-process dsdb server
 // (stcpipe.ProfileServed): instruction fetch under served DSS
 // traffic.
+//
+// With -cached N (N ≥ 2) it instead profiles the training workload N
+// rounds against a result-cached database (stcpipe.ProfileCached) and
+// prints the per-execution trace segments: round 1 fills the cache,
+// every later round is served from it and records zero kernel
+// instructions — the instruction-stream collapse of repeated DSS
+// queries.
 package main
 
 import (
@@ -28,8 +35,13 @@ func main() {
 	top := flag.Int("top", 20, "number of hottest blocks to list")
 	sessions := flag.Int("sessions", 1, "concurrent sessions to profile (1 = the paper's serial run)")
 	served := flag.Bool("served", false, "run the sessions as wire clients against an in-process server")
+	cached := flag.Int("cached", 0, "profile N rounds against a result-cached database (N >= 2; repeats hit the cache)")
 	flag.Parse()
 
+	if *cached > 0 {
+		profileCached(*sf, *cached)
+		return
+	}
 	if *served || *sessions > 1 {
 		profileConcurrent(*sf, *sessions, *top, *served)
 		return
@@ -53,6 +65,30 @@ func printHottest(what string, blocks []stcpipe.BlockStat) {
 	for i, b := range blocks {
 		fmt.Printf("%4d. %-28s %10d executions (%d instrs)\n",
 			i+1, b.Name, b.Executions, b.Instrs)
+	}
+}
+
+// profileCached traces the training workload run `rounds` times
+// against a result-cached database and prints every execution's trace
+// segment — the repeat rounds collapse to zero instructions.
+func profileCached(sf float64, rounds int) {
+	db, err := dsdb.Open(dsdb.WithTPCD(sf), dsdb.WithResultCache(64<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := stcpipe.New()
+	pr, err := pipe.ProfileCached(db, stcpipe.Training(), rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cached profile, %d rounds of the training set: %d block events, %d instrs total\n",
+		rounds, pr.Events(), pr.Instrs())
+	for _, m := range pr.MarkStats() {
+		fmt.Printf("  %-16s %10d blocks %12d instrs\n", m.Label, m.Blocks, m.Instrs)
+	}
+	if st, ok := db.ResultCacheStats(); ok {
+		fmt.Printf("result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes\n",
+			st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes)
 	}
 }
 

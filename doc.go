@@ -8,13 +8,23 @@
 //   - repro/dsdb — a database/sql-style API over the instrumented
 //     database kernel: Open with functional options (buffer pool,
 //     index kind, TPC-D preload, tracer attachment, scan
-//     parallelism), streaming Query with context cancellation,
-//     QueryRow/Exec/Prepare, and DDL passthroughs. A DB is safe for
-//     concurrent sessions — queries run under a shared engine latch
-//     (writes exclusive), every execution owns its context, and
-//     WithParallelism(n) fans sequential scans out over page-range
-//     partitions merged back in page order, so parallel plans return
-//     exactly their serial results.
+//     parallelism, result cache), streaming Query with context
+//     cancellation, QueryRow/Exec/Prepare, and DDL passthroughs. A
+//     DB is safe for concurrent sessions — queries run under a
+//     shared engine latch (writes exclusive), every execution owns
+//     its context, and WithParallelism(n) fans sequential scans out
+//     over page-range partitions merged back in page order, so
+//     parallel plans return exactly their serial results.
+//     WithResultCache(bytes) answers repeated queries from memory —
+//     no executor, no buffer traffic, no instrumentation events —
+//     consistently: entries are validated against per-table write
+//     epochs, so writes invalidate exactly the results that read
+//     them.
+//   - repro/dsdb/qcache — the result cache itself: canonical-SQL
+//     keys, fully materialized row sets, a configurable byte budget
+//     under a deterministic accounting model with LRU eviction, and
+//     epoch-validated consistency, shared by the local and served
+//     query paths.
 //   - repro/dsdb/stcpipe — the paper's toolchain as one composable
 //     pipeline: Profile (traced workload → weighted CFG), Layout
 //     (pluggable algorithms: STC, Pettis & Hansen, Torrellas,
@@ -26,7 +36,10 @@
 //     multi-session DSS traffic as a first-class scenario — and
 //     ProfileServed records the same interleaved profile from real
 //     served traffic: an in-process server, N wire clients, one
-//     kernel trace per connection.
+//     kernel trace per connection. ProfileCached profiles a
+//     repeat-heavy workload against a result-cached database, where
+//     every repeat round traces as zero instructions — the
+//     instruction-stream collapse of cached DSS serving.
 //   - repro/dsdb/wire, repro/dsdb/server, repro/dsdb/client — the
 //     serving subsystem: a length-prefixed binary protocol
 //     (handshake, prepare, query, streaming row batches, error
@@ -35,9 +48,12 @@
 //     (connection limits, per-query deadlines, graceful drain), and
 //     a client with the same Query/QueryRow/Exec/Prepare surface as
 //     dsdb.DB returning byte-identical results over the network.
-//   - repro/dsdb/load — the closed-loop load generator behind
-//     cmd/dsload: N client sessions looping over a TPC-D query mix,
-//     warmup exclusion, latency percentiles and throughput.
+//   - repro/dsdb/load — the load generator behind cmd/dsload: N
+//     client sessions driving a TPC-D query mix closed-loop or
+//     open-loop (fixed-rate Poisson arrivals, queueing delay included
+//     in the percentiles), warmup exclusion, latency percentiles,
+//     throughput, and cache hit-ratio reporting with cached/uncached
+//     latency splits.
 //
 // Binaries: cmd/dsquery (interactive queries), cmd/dsdbd (the
 // serving daemon), cmd/dsload (load generation), cmd/profiler and

@@ -53,6 +53,41 @@ func benchmarkQuery(b *testing.B, parallelism int) {
 
 func BenchmarkQuerySerial(b *testing.B) { benchmarkQuery(b, 1) }
 
+// benchCachedDB is the result-cached twin of benchDB (its own
+// database: caching changes execution, so the uncached benchmarks
+// must not share it).
+var benchCachedDB = sync.OnceValues(func() (*dsdb.DB, error) {
+	return dsdb.Open(dsdb.WithTPCD(0.01), dsdb.WithResultCache(64<<20))
+})
+
+// BenchmarkQueryCached runs the same scan-heavy query with the result
+// cache enabled: after the first fill, every iteration is a cache hit
+// — the repeated-DSS-query serving path. Compare against
+// BenchmarkQuerySerial for the hit-vs-execute gap.
+func BenchmarkQueryCached(b *testing.B) {
+	db, err := benchCachedDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(context.Background(), benchQuery); err != nil {
+		b.Fatal(err) // fill pass: iterations below measure hits
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(context.Background(), benchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+	}
+	b.StopTimer()
+	if st, ok := db.ResultCacheStats(); !ok || st.Hits == 0 {
+		b.Fatalf("benchmark never hit the cache: %+v", st)
+	}
+}
+
 func BenchmarkQueryParallel2(b *testing.B) { benchmarkQuery(b, 2) }
 
 func BenchmarkQueryParallel4(b *testing.B) { benchmarkQuery(b, 4) }

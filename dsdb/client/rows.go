@@ -55,13 +55,14 @@ type Rows struct {
 	ctx       context.Context
 	onRelease func()
 
-	cols     []string
-	batch    [][]dsdb.Value
-	idx      int
-	cur      []dsdb.Value
-	err      error
-	done     bool // terminal frame (Done or Error) received
-	released bool
+	cols      []string
+	batch     [][]dsdb.Value
+	idx       int
+	cur       []dsdb.Value
+	err       error
+	done      bool  // terminal frame (Done or Error) received
+	doneFlags uint8 // execution flags from the Done frame
+	released  bool
 
 	// cancelMu serializes the context watcher against stream
 	// completion: exactly one of "query finished" / "Cancel sent" wins.
@@ -194,6 +195,13 @@ func (r *Rows) Next() bool {
 			r.idx = 0
 		case wire.KindDone:
 			r.done = true
+			if dn, err := wire.DecodeDone(fr.Payload); err != nil {
+				r.err = err
+				r.release(false)
+				return false
+			} else {
+				r.doneFlags = dn.Flags
+			}
 		case wire.KindError:
 			r.done = true
 			ef, derr := wire.DecodeError(fr.Payload)
@@ -232,6 +240,12 @@ func (r *Rows) Scan(dest ...any) error {
 // Err returns the error, if any, that ended iteration. Context
 // cancellation surfaces here as the context's error.
 func (r *Rows) Err() error { return r.err }
+
+// CacheHit reports whether the server answered this query from its
+// result cache (the DoneFlagCacheHit attribution on the terminal
+// frame). It is meaningful only after the stream completed — i.e.
+// once Next has returned false with a nil Err.
+func (r *Rows) CacheHit() bool { return r.doneFlags&wire.DoneFlagCacheHit != 0 }
 
 // Close releases the result set, cancelling the server-side query if
 // the stream was not fully consumed. Idempotent and safe to defer.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/dsdb/qcache"
 	"repro/internal/db/catalog"
 	"repro/internal/db/engine"
 	"repro/internal/db/probe"
@@ -83,6 +84,7 @@ type config struct {
 	tpcdSF      float64
 	loadTPCD    bool
 	parallelism int
+	cacheBytes  int64
 }
 
 // Option configures Open.
@@ -135,6 +137,25 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
 
+// WithResultCache attaches a query result cache bounded to the given
+// number of accounted bytes (see dsdb/qcache; 0, the default,
+// disables caching). Repeated queries — the signature of
+// decision-support traffic — are then answered from memory without
+// touching the executor: a hit runs no scans, takes no buffer pool
+// hits or misses, and emits no kernel instrumentation events. Results
+// are always consistent: entries are validated against per-table
+// write epochs, so any Insert or DDL on a referenced table
+// invalidates every cached result that read it. Local queries and
+// queries served over the wire (dsdb/server) share the one cache.
+//
+// Caching trades instrumentation fidelity for speed: a traced session
+// whose query hits the cache records nothing for it (that collapse is
+// exactly what stcpipe's cached-profile mode measures). Leave the
+// cache off for paper-faithful profiles.
+func WithResultCache(bytes int64) Option {
+	return func(c *config) { c.cacheBytes = bytes }
+}
+
 // DB is one open database, safe for concurrent use: any number of
 // goroutines may call Query, QueryRow, Exec and Prepare at once, each
 // execution getting its own executor context. Queries hold the
@@ -155,6 +176,10 @@ type DB struct {
 	// workerCounts accumulates probe events from parallel-scan
 	// workers, whose kernel work runs outside the session trace.
 	workerCounts *probe.CountingTracer
+
+	// cache is the query result cache (nil when Open ran without
+	// WithResultCache). It is immutable after Open.
+	cache *qcache.Cache
 }
 
 // Open creates a database configured by the given options.
@@ -171,6 +196,9 @@ func Open(opts ...Option) (*DB, error) {
 		tracer:       cfg.tracer,
 		parallelism:  cfg.parallelism,
 		workerCounts: probe.NewCountingTracer(),
+	}
+	if cfg.cacheBytes > 0 {
+		db.cache = qcache.New(cfg.cacheBytes)
 	}
 	if cfg.loadTPCD {
 		// BufferFrames is not set: the engine is already sized above;
@@ -221,6 +249,29 @@ func (db *DB) SetParallelism(n int) {
 // this counter is how it stays visible — 0 means every scan ran
 // serially.
 func (db *DB) WorkerProbeEvents() uint64 { return db.workerCounts.Total() }
+
+// ResultCache returns the query result cache, or nil when Open ran
+// without WithResultCache. Useful for stats reporting and for
+// explicit Clear/Invalidate in tests and tools.
+func (db *DB) ResultCache() *qcache.Cache { return db.cache }
+
+// ResultCacheStats snapshots the result cache counters; ok is false
+// when caching is disabled.
+func (db *DB) ResultCacheStats() (stats qcache.Stats, ok bool) {
+	if db.cache == nil {
+		return qcache.Stats{}, false
+	}
+	return db.cache.Stats(), true
+}
+
+// TableEpoch returns a table's write epoch — the counter behind
+// result-cache invalidation, bumped by every Insert/DDL on the table
+// (0 for an unknown or never-written table).
+func (db *DB) TableEpoch(table string) uint64 {
+	release := db.eng.BeginRead()
+	defer release()
+	return db.eng.TableEpoch(table)
+}
 
 // CreateTable registers a table with the given columns.
 func (db *DB) CreateTable(name string, cols ...Column) error {

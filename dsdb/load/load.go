@@ -1,10 +1,21 @@
-// Package load is the closed-loop load generator behind cmd/dsload: N
-// client sessions connect to a dsdb server, each looping over a TPC-D
-// query mix (every client waits for its current query to finish before
-// issuing the next — classic closed-loop load), with warmup rounds
-// excluded from measurement and a latency/throughput summary at the
-// end. The Summary's Report rendering is pinned by a golden-file test,
-// so downstream tooling can parse it.
+// Package load is the load generator behind cmd/dsload: N client
+// sessions connect to a dsdb server and drive a TPC-D query mix, with
+// warmup rounds excluded from measurement and a latency/throughput
+// summary at the end. Two arrival models are supported:
+//
+//   - Closed loop (the default): every client waits for its current
+//     query to finish before issuing the next.
+//   - Open loop (Params.ArrivalRate > 0): queries arrive on a fixed-
+//     rate Poisson schedule independent of completions, dispatched
+//     over the client connections; a query's latency is measured from
+//     its scheduled arrival, so time spent queueing for a free
+//     connection is included in the reported percentiles.
+//
+// When the server carries a result cache, each sample also records
+// whether it was served from cache, and the summary reports the hit
+// ratio alongside separate cached/uncached latency percentiles. The
+// Summary's Report rendering is pinned by golden-file tests, so
+// downstream tooling can parse it.
 package load
 
 import (
@@ -89,6 +100,13 @@ type Params struct {
 	// this long — so a load run can start before its server finishes
 	// loading TPC-D.
 	WaitReady time.Duration
+	// ArrivalRate, when positive, switches the measured phase to an
+	// open loop: queries arrive at this aggregate rate (queries per
+	// second) on a Poisson schedule, dispatched over the Clients
+	// connections, and each latency is measured from the query's
+	// scheduled arrival — queueing delay included. Warmup rounds still
+	// run closed-loop. 0 keeps the classic closed loop.
+	ArrivalRate float64
 }
 
 // Latency summarizes a latency distribution.
@@ -115,6 +133,25 @@ type Summary struct {
 	Elapsed  time.Duration
 	Lat      Latency
 	PerQuery []QueryStat // ascending by query number
+
+	// ArrivalRate echoes Params.ArrivalRate: > 0 means the measured
+	// phase ran open-loop and Lat includes queueing delay.
+	ArrivalRate float64
+	// CacheHits counts measured queries the server answered from its
+	// result cache; LatHit/LatMiss split the latency distribution by
+	// that attribution (meaningful when CacheHits > 0).
+	CacheHits int
+	LatHit    Latency
+	LatMiss   Latency
+}
+
+// HitRatio returns the fraction of measured queries served from the
+// server's result cache.
+func (s *Summary) HitRatio() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Queries)
 }
 
 // Throughput returns measured queries per second.
@@ -130,10 +167,12 @@ type sample struct {
 	num  int
 	rows int64
 	d    time.Duration
+	hit  bool // served from the server's result cache
 }
 
 // Run executes the load: dial Clients sessions, run Warmup+Rounds
-// loops over the mix on each, and aggregate the measured samples. The
+// loops over the mix on each — closed-loop, or open-loop when
+// ArrivalRate is set — and aggregate the measured samples. The
 // context cancels the whole run.
 func Run(ctx context.Context, p Params) (*Summary, error) {
 	if p.Clients <= 0 {
@@ -167,10 +206,10 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 		dbs[i] = db
 	}
 
-	type clientResult struct {
-		samples []sample
-		err     error
+	if p.ArrivalRate > 0 {
+		return runOpen(ctx, p, dbs)
 	}
+
 	results := make([]clientResult, p.Clients)
 	// The first client failure cancels the whole run: the remaining
 	// clients abort their in-flight queries instead of grinding
@@ -190,16 +229,15 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 			res := &results[i]
 			order := clientOrder(p.Mix.Numbers, p.Seed, i)
 			run := func(qn int, measured bool) bool {
-				q, _ := dsdb.TPCDQuery(qn)
 				t0 := time.Now()
-				rows, err := runOne(runCtx, dbs[i], qn, q)
+				rows, hit, err := runOne(runCtx, dbs[i], qn)
 				if err != nil {
 					res.err = fmt.Errorf("load: client %d Q%d: %w", i+1, qn, err)
 					cancelRun()
 					return false
 				}
 				if measured {
-					res.samples = append(res.samples, sample{num: qn, rows: rows, d: time.Since(t0)})
+					res.samples = append(res.samples, sample{num: qn, rows: rows, d: time.Since(t0), hit: hit})
 				}
 				return true
 			}
@@ -233,22 +271,34 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 	}
 	elapsed := time.Since(start)
 
+	all, err := collectResults(results)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(p, all, elapsed), nil
+}
+
+// clientResult is one client's share of a run.
+type clientResult struct {
+	samples []sample
+	err     error
+}
+
+// collectResults folds the per-client outcomes: all samples, and the
+// first error — preferring a root cause over the context.Canceled
+// errors that fail-fast cancellation induced in the other clients.
+func collectResults(results []clientResult) ([]sample, error) {
 	var all []sample
 	var firstErr error
 	for i := range results {
 		if err := results[i].err; err != nil {
-			// Prefer the root cause over the context.Canceled errors the
-			// fail-fast cancellation induced in the other clients.
 			if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
 				firstErr = err
 			}
 		}
 		all = append(all, results[i].samples...)
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return summarize(p, all, elapsed), nil
+	return all, firstErr
 }
 
 // dialReady dials, retrying transport-level failures (connection
@@ -293,38 +343,153 @@ func clientOrder(nums []int, seed int64, i int) []int {
 	return order
 }
 
-// runOne streams one labeled query to completion, counting rows.
-func runOne(ctx context.Context, db *client.DB, qn int, q string) (int64, error) {
+// runOne streams one labeled TPC-D query to completion, counting rows
+// and reporting the server's cache-hit attribution.
+func runOne(ctx context.Context, db *client.DB, qn int) (int64, bool, error) {
+	q, _ := dsdb.TPCDQuery(qn)
 	rows, err := db.QueryLabeled(ctx, fmt.Sprintf("Q%d", qn), q)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer rows.Close()
 	var n int64
 	for rows.Next() {
 		n++
 	}
-	return n, rows.Err()
+	if err := rows.Err(); err != nil {
+		return 0, false, err
+	}
+	return n, rows.CacheHit(), nil
+}
+
+// runOpen drives the measured phase as an open loop: a deterministic
+// Poisson arrival schedule at p.ArrivalRate aggregate queries/s, with
+// Clients connections consuming arrivals in order. A query whose turn
+// comes while every connection is busy starts late, and its latency —
+// measured from the scheduled arrival — includes that queueing delay,
+// exactly what a closed loop hides. Warmup rounds run closed-loop
+// first (unmeasured), so cache and buffer warmup match the closed
+// mode.
+func runOpen(ctx context.Context, p Params, dbs []*client.DB) (*Summary, error) {
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	results := make([]clientResult, p.Clients)
+
+	// Closed-loop warmup, in parallel across clients.
+	var wg sync.WaitGroup
+	for i := range dbs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			order := clientOrder(p.Mix.Numbers, p.Seed, i)
+			for round := 0; round < p.Warmup; round++ {
+				for _, qn := range order {
+					if _, _, err := runOne(runCtx, dbs[i], qn); err != nil {
+						results[i].err = fmt.Errorf("load: client %d warmup Q%d: %w", i+1, qn, err)
+						cancelRun()
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, err := collectResults(results); err != nil {
+		// Same root-cause preference as the measured phases: a real
+		// warmup failure must not be masked by the context.Canceled it
+		// induced in the other clients.
+		return nil, err
+	}
+
+	// The arrival schedule: total = Clients×Rounds×mix queries (the
+	// same count a closed-loop run measures), exponential
+	// inter-arrival gaps at the aggregate rate, query numbers cycling
+	// through the mix. Seeded deterministically so two runs against
+	// the same server issue the identical schedule.
+	type job struct {
+		qn  int
+		off time.Duration // arrival offset from the measured-phase start
+	}
+	total := p.Clients * p.Rounds * len(p.Mix.Numbers)
+	rng := rand.New(rand.NewSource(p.Seed + 9973))
+	jobs := make(chan job, total)
+	var off time.Duration
+	for k := 0; k < total; k++ {
+		jobs <- job{qn: p.Mix.Numbers[k%len(p.Mix.Numbers)], off: off}
+		off += time.Duration(rng.ExpFloat64() / p.ArrivalRate * float64(time.Second))
+	}
+	close(jobs)
+
+	start := time.Now()
+	for i := range dbs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			for j := range jobs {
+				due := start.Add(j.off)
+				select {
+				case <-runCtx.Done():
+					// Cancellation mid-schedule must surface, exactly as
+					// it does when it lands inside runOne: a truncated
+					// run reporting a clean summary would be
+					// indistinguishable from a complete one.
+					if res.err == nil {
+						res.err = runCtx.Err()
+					}
+					return
+				case <-time.After(time.Until(due)):
+				}
+				rows, hit, err := runOne(runCtx, dbs[i], j.qn)
+				if err != nil {
+					res.err = fmt.Errorf("load: client %d Q%d: %w", i+1, j.qn, err)
+					cancelRun()
+					return
+				}
+				// Latency from the scheduled arrival: service time plus
+				// any wait for this connection to free up.
+				res.samples = append(res.samples, sample{num: j.qn, rows: rows, d: time.Since(due), hit: hit})
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all, err := collectResults(results)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(p, all, elapsed), nil
 }
 
 // summarize aggregates samples into the report shape.
 func summarize(p Params, all []sample, elapsed time.Duration) *Summary {
 	s := &Summary{
-		Mix:     p.Mix.Name,
-		Clients: p.Clients,
-		Rounds:  p.Rounds,
-		Warmup:  p.Warmup,
-		Queries: len(all),
-		Elapsed: elapsed,
+		Mix:         p.Mix.Name,
+		Clients:     p.Clients,
+		Rounds:      p.Rounds,
+		Warmup:      p.Warmup,
+		Queries:     len(all),
+		Elapsed:     elapsed,
+		ArrivalRate: p.ArrivalRate,
 	}
-	var lats []time.Duration
+	var lats, hitLats, missLats []time.Duration
 	byQuery := make(map[int][]sample)
 	for _, sm := range all {
 		s.Rows += sm.rows
 		lats = append(lats, sm.d)
+		if sm.hit {
+			s.CacheHits++
+			hitLats = append(hitLats, sm.d)
+		} else {
+			missLats = append(missLats, sm.d)
+		}
 		byQuery[sm.num] = append(byQuery[sm.num], sm)
 	}
 	s.Lat = percentiles(lats)
+	s.LatHit = percentiles(hitLats)
+	s.LatMiss = percentiles(missLats)
 	nums := make([]int, 0, len(byQuery))
 	for n := range byQuery {
 		nums = append(nums, n)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -55,6 +56,46 @@ func TestReportGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("dsload report drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestReportGoldenCachedOpenLoop pins the extended report branches the
+// plain golden does not reach: the open-loop arrival line and the
+// cache hit block (ratio + split percentiles). Regenerate with
+// -update after an intentional change.
+func TestReportGoldenCachedOpenLoop(t *testing.T) {
+	s := &Summary{
+		Mix:         "test",
+		Clients:     8,
+		Rounds:      3,
+		Warmup:      1,
+		Queries:     240,
+		Rows:        9000,
+		Elapsed:     1200 * time.Millisecond,
+		ArrivalRate: 200,
+		CacheHits:   180,
+		Lat:         Latency{P50: 800 * time.Microsecond, P90: 4 * time.Millisecond, P99: 9 * time.Millisecond, Max: 15 * time.Millisecond},
+		LatHit:      Latency{P50: 120 * time.Microsecond, P90: 300 * time.Microsecond, P99: 700 * time.Microsecond, Max: 900 * time.Microsecond},
+		LatMiss:     Latency{P50: 5 * time.Millisecond, P90: 8 * time.Millisecond, P99: 12 * time.Millisecond, Max: 15 * time.Millisecond},
+		PerQuery: []QueryStat{
+			{Label: "Q3", Count: 120, Rows: 4500, Lat: Latency{P50: 700 * time.Microsecond, P90: 3 * time.Millisecond, P99: 8 * time.Millisecond, Max: 14 * time.Millisecond}},
+			{Label: "Q6", Count: 120, Rows: 4500, Lat: Latency{P50: 900 * time.Microsecond, P90: 5 * time.Millisecond, P99: 10 * time.Millisecond, Max: 15 * time.Millisecond}},
+		},
+	}
+	got := s.Report()
+	path := filepath.Join("testdata", "summary_cached_open.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dsload cached/open-loop report drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }
 
@@ -144,8 +185,62 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if sum.Lat.Max <= 0 || sum.Throughput() <= 0 {
 		t.Fatalf("degenerate summary: %+v", sum)
 	}
+	// No result cache on this server: nothing may be attributed as a
+	// hit.
+	if sum.CacheHits != 0 || sum.HitRatio() != 0 {
+		t.Fatalf("cache hits reported against an uncached server: %+v", sum)
+	}
 	// The report must render without panicking and mention the mix.
 	if rep := sum.Report(); len(rep) == 0 {
 		t.Fatal("empty report")
+	}
+}
+
+// TestRunOpenLoopAgainstCachedServer drives the open-loop mode end to
+// end against a result-cached server: the measured-query count must
+// match the closed-loop accounting (clients × rounds × mix), and with
+// one closed-loop warmup round having filled the cache, every
+// measured query must be attributed as a hit.
+func TestRunOpenLoopAgainstCachedServer(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005), dsdb.WithResultCache(64<<20))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sum, err := Run(context.Background(), Params{
+		Addr:        ln.Addr().String(),
+		Clients:     2,
+		Rounds:      2,
+		Warmup:      1,
+		Mix:         Mix{Name: "smoke", Numbers: []int{6, 3}},
+		ArrivalRate: 500, // fast arrivals: the run stays sub-second
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := 2 * 2 * 2; sum.Queries != want {
+		t.Fatalf("measured %d queries, want %d", sum.Queries, want)
+	}
+	if sum.ArrivalRate != 500 {
+		t.Fatalf("summary lost the arrival rate: %+v", sum)
+	}
+	if sum.CacheHits != sum.Queries {
+		t.Fatalf("cache hits = %d, want all %d (warmup filled the cache, no writers ran)",
+			sum.CacheHits, sum.Queries)
+	}
+	if sum.LatHit.Max <= 0 {
+		t.Fatalf("hit latency distribution empty: %+v", sum)
+	}
+	rep := sum.Report()
+	if !strings.Contains(rep, "arrival    : 500.0 queries/s open-loop") ||
+		!strings.Contains(rep, "cache hits : 8/8 (100.0%)") {
+		t.Fatalf("report missing open-loop/cache lines:\n%s", rep)
 	}
 }

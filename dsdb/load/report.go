@@ -27,8 +27,11 @@ func fmtLat(l Latency) string {
 }
 
 // Report renders the run summary in the fixed format pinned by the
-// golden-file test (testdata/summary.golden): header line, aggregate
-// block, then one line per query of the mix.
+// golden-file tests (testdata/summary.golden and
+// testdata/summary_cached_open.golden): header line, aggregate block
+// — extended with an arrival line for open-loop runs and a cache
+// block when the server reported hits — then one line per query of
+// the mix.
 func (s *Summary) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dsload: mix=%s clients=%d rounds=%d warmup=%d\n",
@@ -37,7 +40,17 @@ func (s *Summary) Report() string {
 	fmt.Fprintf(&b, "rows       : %d\n", s.Rows)
 	fmt.Fprintf(&b, "elapsed    : %s\n", fmtDur(s.Elapsed))
 	fmt.Fprintf(&b, "throughput : %.1f queries/s\n", s.Throughput())
+	if s.ArrivalRate > 0 {
+		fmt.Fprintf(&b, "arrival    : %.1f queries/s open-loop (latency includes queue delay)\n", s.ArrivalRate)
+	}
 	fmt.Fprintf(&b, "latency    : %s\n", fmtLat(s.Lat))
+	if s.CacheHits > 0 {
+		fmt.Fprintf(&b, "cache hits : %d/%d (%.1f%%)\n", s.CacheHits, s.Queries, 100*s.HitRatio())
+		fmt.Fprintf(&b, "hit lat    : %s\n", fmtLat(s.LatHit))
+		if s.CacheHits < s.Queries {
+			fmt.Fprintf(&b, "miss lat   : %s\n", fmtLat(s.LatMiss))
+		}
+	}
 	if len(s.PerQuery) > 0 {
 		b.WriteString("per query:\n")
 		for _, q := range s.PerQuery {

@@ -1,0 +1,267 @@
+// Package qcache is the query result cache of the dsdb family: a
+// memory-bounded, LRU-evicting map from canonicalized SQL text to
+// fully materialized result sets, kept consistent by per-table write
+// epochs. The paper's premise is that decision-support workloads
+// re-execute a small set of heavy queries; the cheapest instruction
+// fetch is the one never issued, and a cache hit answers a repeated
+// query without running the executor at all.
+//
+// Consistency model: every entry remembers the write epoch of each
+// table its query reads, captured while the filling execution held the
+// engine's shared latch (writers excluded, so the snapshot is
+// consistent by construction). Get revalidates those epochs against
+// the engine's current ones — any Insert or DDL on a referenced table
+// bumps its epoch, so a stale entry can never be served; it is dropped
+// on first touch and refilled by the next miss.
+//
+// The cache itself is storage-agnostic and engine-agnostic: keys are
+// strings, validation is a callback, and byte accounting is the
+// deterministic EntryBytes model — which is also what the eviction
+// tests pin. dsdb.Open(dsdb.WithResultCache(n)) owns the only instance
+// most programs need; both the in-process and the served query paths
+// share it.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/db/value"
+)
+
+// Result is one materialized result set: output column names plus
+// every row, in order. Entries are shared between the cache and all
+// readers serving from it — treat a Result obtained from Get as
+// immutable (dsdb's Rows copies on Values/Scan, never in place).
+type Result struct {
+	Columns []string
+	Rows    [][]value.Value
+}
+
+// Footprint is the table set a query reads, with the write epoch of
+// each table observed while the filling execution ran. Tables and
+// Epochs are parallel slices.
+type Footprint struct {
+	Tables []string
+	Epochs []uint64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Gets served from the cache.
+	Hits uint64
+	// Misses counts Gets that found nothing servable (absent or
+	// invalidated).
+	Misses uint64
+	// Evictions counts entries dropped to fit the byte budget.
+	Evictions uint64
+	// Invalidations counts entries dropped because a referenced
+	// table's epoch moved.
+	Invalidations uint64
+	// Entries is the current number of cached result sets.
+	Entries int
+	// UsedBytes and MaxBytes are the accounted footprint and the
+	// configured budget.
+	UsedBytes, MaxBytes int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any Get.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one cached result set plus its LRU hook and accounting.
+type entry struct {
+	key  string
+	fp   Footprint
+	res  *Result
+	size int64
+	elem *list.Element
+}
+
+// Cache is a memory-bounded query result cache, safe for concurrent
+// use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	used    int64
+	lru     *list.List // front = most recently used; values are *entry
+	entries map[string]*entry
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New returns a cache bounded to maxBytes of accounted result data
+// (see EntryBytes). A non-positive budget yields a cache that stores
+// nothing but still counts misses — callers need no nil checks to
+// keep stats coherent.
+func New(maxBytes int64) *Cache {
+	return &Cache{max: maxBytes, lru: list.New(), entries: make(map[string]*entry)}
+}
+
+// MaxBytes returns the configured byte budget.
+func (c *Cache) MaxBytes() int64 { return c.max }
+
+// Get returns the cached result for key if one is present and still
+// valid: cur is consulted for every table of the entry's footprint,
+// and the entry is served only if each epoch is unchanged. A stale
+// entry is removed (counted as an invalidation) and reported as a
+// miss. The returned Result is shared — do not mutate it.
+func (c *Cache) Get(key string, cur func(table string) uint64) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	for i, t := range e.fp.Tables {
+		if cur(t) != e.fp.Epochs[i] {
+			c.invalidations++
+			c.remove(e)
+			c.misses++
+			return nil, false
+		}
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.res, true
+}
+
+// Put inserts (or replaces) the result for key, evicting
+// least-recently-used entries until the budget holds. An entry larger
+// than the whole budget is rejected (returns false) — the cache never
+// overcommits. len(fp.Tables) must equal len(fp.Epochs).
+func (c *Cache) Put(key string, fp Footprint, res *Result) bool {
+	size := EntryBytes(key, fp, res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.max {
+		return false
+	}
+	if old, ok := c.entries[key]; ok {
+		c.remove(old)
+	}
+	for c.used+size > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.evictions++
+		c.remove(back.Value.(*entry))
+	}
+	e := &entry{key: key, fp: fp, res: res, size: size}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.used += size
+	return true
+}
+
+// Invalidate drops every entry whose footprint includes the table —
+// a coarse hook for callers that mutate tables outside the epoch
+// protocol. Returns the number of entries dropped.
+func (c *Cache) Invalidate(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		for _, t := range e.fp.Tables {
+			if t == table {
+				c.remove(e)
+				c.invalidations++
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Clear drops every entry.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*entry)
+	c.used = 0
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       len(c.entries),
+		UsedBytes:     c.used,
+		MaxBytes:      c.max,
+	}
+}
+
+// remove unlinks an entry; the caller holds c.mu.
+func (c *Cache) remove(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.used -= e.size
+}
+
+// Accounting model: deliberately simple and deterministic, so tests
+// can pin the budget exactly. Each value costs a fixed overhead plus
+// its string payload; rows and the entry itself add slice/bookkeeping
+// overheads. The constants approximate Go's in-memory cost (a
+// value.Value is a 40-byte struct; slice headers are 24 bytes) — the
+// point is a stable, slightly conservative bound, not byte-perfect
+// heap measurement.
+const (
+	valueOverhead = 48
+	sliceOverhead = 24
+	entryOverhead = 160
+)
+
+// ValueBytes returns the accounted size of one datum.
+func ValueBytes(v value.Value) int64 { return valueOverhead + int64(len(v.S)) }
+
+// RowBytes returns the accounted size of one row.
+func RowBytes(row []value.Value) int64 {
+	n := int64(sliceOverhead)
+	for _, v := range row {
+		n += ValueBytes(v)
+	}
+	return n
+}
+
+// ResultBytes returns the accounted size of a result set (columns and
+// rows, without the entry bookkeeping).
+func ResultBytes(res *Result) int64 {
+	n := int64(sliceOverhead)
+	for _, col := range res.Columns {
+		n += sliceOverhead + int64(len(col))
+	}
+	for _, row := range res.Rows {
+		n += RowBytes(row)
+	}
+	return n
+}
+
+// EntryBytes returns the accounted size of a whole cache entry: key,
+// footprint and result. This is the unit the budget is enforced in.
+func EntryBytes(key string, fp Footprint, res *Result) int64 {
+	n := entryOverhead + int64(len(key)) + ResultBytes(res)
+	for _, t := range fp.Tables {
+		n += 8 + sliceOverhead + int64(len(t))
+	}
+	return n
+}

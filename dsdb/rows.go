@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/dsdb/qcache"
 	"repro/internal/db/executor"
 	"repro/internal/db/sql"
 	"repro/internal/db/value"
@@ -33,6 +34,13 @@ type Stmt struct {
 	cols    []string
 	busy    atomic.Bool
 	unlatch func() // releases the engine read latch of the running execution
+
+	// cacheKey and tables are the statement's result-cache identity:
+	// the canonicalized query text and the deduplicated table
+	// footprint the planner derived at compile time. Unused (but still
+	// recorded) when the DB has no result cache.
+	cacheKey string
+	tables   []string
 }
 
 // Prepare parses and plans a query for repeated execution, binding
@@ -65,16 +73,17 @@ func (db *DB) prepare(tr Tracer, parallelism int, query string) (*Stmt, error) {
 	if parallelism > 1 {
 		c.WorkerTracer = db.workerCounts
 	}
-	plan, err := sql.Compile(db.eng, c, query)
+	cq, err := sql.CompileQuery(db.eng, c, query)
 	if err != nil {
 		return nil, err
 	}
-	sch := plan.Schema()
+	sch := cq.Plan.Schema()
 	cols := make([]string, sch.Len())
 	for i, col := range sch.Columns {
 		cols[i] = col.Name
 	}
-	return &Stmt{db: db, query: query, c: c, plan: plan, cols: cols}, nil
+	return &Stmt{db: db, query: query, c: c, plan: cq.Plan, cols: cols,
+		cacheKey: cq.Key, tables: cq.Tables}, nil
 }
 
 // Columns returns the output column names.
@@ -84,7 +93,25 @@ func (s *Stmt) Columns() []string { return append([]string(nil), s.cols...) }
 // context is honored between tuples and inside pipeline-breaking
 // operators (sort loads, hash-join builds): cancellation surfaces as
 // the context's error from Rows.Err.
+//
+// When the DB carries a result cache, Query first consults it under
+// the shared engine latch: a valid entry (every referenced table's
+// write epoch unchanged) is served as a materialized Rows without
+// opening the plan at all — no executor, no buffer pool traffic, no
+// instrumentation events. On a miss the execution streams normally
+// while a copy of the rows accumulates; a cleanly exhausted result
+// set is then published for the next repeat. Partially consumed,
+// cancelled or failed executions publish nothing.
 func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
+	return s.execQuery(ctx, true)
+}
+
+// execQuery runs one execution. consultCache selects whether the result
+// cache is probed here: prepared statements probe on every execution,
+// while the one-shot Query/QueryTraced path already missed in its
+// pre-plan lookup and must not probe again — a second Get would
+// double-count the miss (skewing the reported hit ratio) for nothing.
+func (s *Stmt) execQuery(ctx context.Context, consultCache bool) (*Rows, error) {
 	if !s.busy.CompareAndSwap(false, true) {
 		return nil, ErrStmtBusy
 	}
@@ -94,13 +121,77 @@ func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
 	// Hold the engine latch shared for the whole execution: writers
 	// (Insert, DDL) wait until this result set closes.
 	s.unlatch = s.db.eng.BeginRead()
+	var fill *cacheFill
+	if c := s.db.cache; c != nil {
+		// Epoch reads below run under the just-taken shared latch, so
+		// a hit is consistent with the database as of this call, and a
+		// fill's snapshot cannot be perturbed mid-execution.
+		if consultCache {
+			if res, ok := c.Get(s.cacheKey, s.db.eng.TableEpoch); ok {
+				s.release()
+				return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true}, nil
+			}
+		}
+		fp := qcache.Footprint{Tables: s.tables, Epochs: make([]uint64, len(s.tables))}
+		for i, t := range s.tables {
+			fp.Epochs[i] = s.db.eng.TableEpoch(t)
+		}
+		// The abandonment threshold uses the same accounting as Put's
+		// admission check: budget minus the entry's fixed cost (key,
+		// columns, footprint), so a result that can never be admitted
+		// is never fully copied either.
+		fixed := qcache.EntryBytes(s.cacheKey, fp, &qcache.Result{Columns: s.cols})
+		fill = &cacheFill{cache: c, key: s.cacheKey, fp: fp, limit: c.MaxBytes() - fixed}
+	}
 	s.c.Interrupt = ctx.Err
 	if err := s.plan.Open(); err != nil {
 		s.plan.Close()
 		s.release()
 		return nil, err
 	}
-	return &Rows{stmt: s, ctx: ctx}, nil
+	return &Rows{stmt: s, ctx: ctx, cols: s.cols, fill: fill}, nil
+}
+
+// cacheFill accumulates a copy of a streaming execution's rows for
+// publication into the result cache when the stream ends cleanly.
+type cacheFill struct {
+	cache *qcache.Cache
+	key   string
+	fp    qcache.Footprint
+	rows  [][]Value
+	size  int64
+	limit int64 // accumulation stops (and the fill is abandoned) past this
+	dead  bool
+}
+
+// add copies one produced tuple into the pending entry, abandoning
+// the fill once the result outgrows the cache budget (the cache would
+// reject it anyway — stop paying for the copy).
+func (f *cacheFill) add(tup []Value) {
+	if f.dead {
+		return
+	}
+	row := append([]Value(nil), tup...)
+	f.size += qcache.RowBytes(row)
+	if f.size > f.limit {
+		f.dead = true
+		f.rows = nil
+		return
+	}
+	f.rows = append(f.rows, row)
+}
+
+// commit publishes the accumulated result. Called with the filling
+// execution's engine latch still held, so no writer can have bumped
+// an epoch since the snapshot.
+func (f *cacheFill) commit(cols []string) {
+	if f.dead {
+		return
+	}
+	f.cache.Put(f.key, f.fp, &qcache.Result{
+		Columns: append([]string(nil), cols...),
+		Rows:    f.rows,
+	})
 }
 
 // release detaches the statement from a finished execution and drops
@@ -135,17 +226,36 @@ func (s *Stmt) Close() error {
 // Tuples are pulled from the executor one at a time — nothing is
 // materialized beyond what the plan itself buffers. Rows auto-closes
 // on exhaustion or error; Close is idempotent and safe to defer.
+//
+// A Rows served from the result cache (CacheHit reports true) has no
+// executor behind it: Next iterates the materialized entry, and close
+// tears nothing down.
 type Rows struct {
-	stmt     *Stmt
+	stmt     *Stmt // nil when served from the result cache
 	ctx      context.Context
+	cols     []string
 	cur      executor.Tuple
 	err      error
 	closeErr error
 	closed   bool
+
+	// cres/cidx iterate a result-cache hit; hit reports the serving
+	// mode. fill accumulates a miss for publication; exhausted marks a
+	// cleanly drained stream (the only state a fill commits from).
+	cres      *qcache.Result
+	cidx      int
+	hit       bool
+	fill      *cacheFill
+	exhausted bool
 }
 
 // Columns returns the output column names.
-func (r *Rows) Columns() []string { return r.stmt.Columns() }
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// CacheHit reports whether this result set was served from the DB's
+// result cache (no executor ran; the rows were materialized by an
+// earlier execution of the same canonical query).
+func (r *Rows) CacheHit() bool { return r.hit }
 
 // Next advances to the next row, returning false at the end of the
 // result set, on error, or when the query's context is cancelled.
@@ -159,6 +269,18 @@ func (r *Rows) Next() bool {
 		r.close()
 		return false
 	}
+	if r.cres != nil {
+		// Cache hit: iterate the materialized entry. The rows are
+		// shared with the cache — Values and Scan copy, never mutate.
+		if r.cidx >= len(r.cres.Rows) {
+			r.exhausted = true
+			r.close()
+			return false
+		}
+		r.cur = r.cres.Rows[r.cidx]
+		r.cidx++
+		return true
+	}
 	tup, ok, err := r.stmt.plan.Next()
 	if err != nil {
 		r.err = err
@@ -166,10 +288,14 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	if !ok {
+		r.exhausted = true
 		r.close()
 		return false
 	}
 	r.cur = tup
+	if r.fill != nil {
+		r.fill.add(tup)
+	}
 	return true
 }
 
@@ -185,7 +311,7 @@ func (r *Rows) Scan(dest ...any) error {
 	if r.cur == nil {
 		return fmt.Errorf("dsdb: Scan called without a successful Next")
 	}
-	return scanRow(r.cur, r.stmt.cols, dest)
+	return scanRow(r.cur, r.cols, dest)
 }
 
 // ScanRow copies one materialized row into the destinations — the
@@ -265,16 +391,28 @@ func scanValue(v Value, dest any) error {
 // cancellation surfaces here as the context's error.
 func (r *Rows) Err() error { return r.err }
 
-// close tears down the execution, keeping the first close error.
+// close tears down the execution, keeping the first close error. A
+// cleanly exhausted miss publishes its accumulated rows to the result
+// cache before the engine latch drops, so the epoch snapshot taken at
+// Query time is still current at publication.
 func (r *Rows) close() {
 	if r.closed {
 		return
 	}
 	r.closed = true
 	r.cur = nil // a Scan after close must fail, not read stale data
+	if r.stmt == nil {
+		return // cache hit: nothing to tear down
+	}
 	r.closeErr = r.stmt.plan.Close()
 	if r.err == nil {
 		r.err = r.closeErr
+	}
+	if r.fill != nil {
+		if r.err == nil && r.exhausted {
+			r.fill.commit(r.cols)
+		}
+		r.fill = nil
 	}
 	r.stmt.release()
 }
@@ -287,23 +425,61 @@ func (r *Rows) Close() error {
 }
 
 // Query compiles and executes a query, returning a streaming Rows.
+// With a result cache attached, a repeated query short-circuits
+// before planning: parse, canonicalize, validate epochs, serve — the
+// hot path repeated DSS traffic takes on every hit.
 func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
+	if r, ok := db.cachedQuery(ctx, query); ok {
+		return r, nil
+	}
 	stmt, err := db.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Query(ctx)
+	return stmt.execQuery(ctx, false)
 }
 
 // QueryTraced is Query with an explicit per-call tracer (see
 // PrepareTraced): the way a concurrent session records its own
-// instruction trace without touching the DB-wide tracer.
+// instruction trace without touching the DB-wide tracer. Cache hits
+// take the same pre-plan fast path as Query — a hit emits no trace
+// either way.
 func (db *DB) QueryTraced(ctx context.Context, tr Tracer, query string) (*Rows, error) {
+	if r, ok := db.cachedQuery(ctx, query); ok {
+		return r, nil
+	}
 	stmt, err := db.PrepareTraced(tr, query)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Query(ctx)
+	return stmt.execQuery(ctx, false)
+}
+
+// cachedQuery attempts the one-shot result-cache fast path: parse
+// only (no planning), look the canonical key up under the shared
+// engine latch, and serve a valid entry as a materialized Rows. Any
+// parse failure falls through to the full compile path, which owns
+// error reporting. A key can only be cached if the query once
+// compiled and ran — and tables are never dropped — so skipping
+// plan-time validation on a hit cannot hide a real error.
+func (db *DB) cachedQuery(ctx context.Context, query string) (*Rows, bool) {
+	if db.cache == nil {
+		return nil, false
+	}
+	key, _, err := sql.Analyze(query)
+	if err != nil {
+		return nil, false
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release := db.eng.BeginRead()
+	res, ok := db.cache.Get(key, db.eng.TableEpoch)
+	release()
+	if !ok {
+		return nil, false
+	}
+	return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true}, true
 }
 
 // Row is the result of QueryRow: a single-row wrapper whose Scan
@@ -346,7 +522,17 @@ func (db *DB) QueryRow(ctx context.Context, query string) *Row {
 		}
 		return &Row{err: ErrNoRows}
 	}
-	return &Row{vals: rows.Values(), cols: rows.Columns()}
+	r := &Row{vals: rows.Values(), cols: rows.Columns()}
+	if rows.fill != nil {
+		// Probe one step past the first row: the expected single-row
+		// result (the common DSS aggregate shape) is thereby drained
+		// to exhaustion, so the result cache can publish it and
+		// repeated QueryRow traffic hits like Query/Exec. Only a
+		// filling execution benefits — uncached databases and
+		// cache-hit serves skip the extra pull.
+		rows.Next()
+	}
+	return r
 }
 
 // Result is a fully materialized result set.

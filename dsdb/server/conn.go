@@ -372,5 +372,12 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count}))
+	// Attribute the execution in the terminal frame: a cache-hit serve
+	// never touched the executor, and the client (dsload in
+	// particular) splits its latency percentiles on this flag.
+	var flags uint8
+	if rows.CacheHit() {
+		flags |= wire.DoneFlagCacheHit
+	}
+	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, Flags: flags}))
 }

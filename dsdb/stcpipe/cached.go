@@ -1,0 +1,88 @@
+package stcpipe
+
+import (
+	"fmt"
+
+	"repro/dsdb"
+)
+
+// ProfileCached traces a repeat-heavy workload against a database
+// opened with dsdb.WithResultCache: one kernel session runs the whole
+// workload rounds times, marking every execution, with the result
+// cache answering repeats. The first round executes and fills the
+// cache; later rounds are served from it — and a cache hit runs no
+// executor, touches no buffer pool and emits no kernel
+// instrumentation events, so its trace segment is empty. The profile
+// therefore demonstrates the instruction-stream collapse the paper's
+// premise implies: for a decision-support mix that repeats its
+// queries, the cheapest instruction fetch is the one never issued.
+// Use MarkStats to see the per-execution segment sizes.
+//
+// The database must carry a result cache; rounds must be at least 2
+// (one fill pass, at least one hit pass). Writers running during the
+// profile would turn hits back into misses — profile on a quiesced
+// database, like every other profile mode.
+//
+// The returned profile is immutable (Run rejects it) but otherwise a
+// first-class citizen of the pipeline: it can train layouts and be
+// simulated like any trace.
+func (p *Pipeline) ProfileCached(db *dsdb.DB, w Workload, rounds int) (*Profile, error) {
+	if db.ResultCache() == nil {
+		return nil, fmt.Errorf("stcpipe: ProfileCached needs a database opened with dsdb.WithResultCache")
+	}
+	if rounds < 2 {
+		return nil, fmt.Errorf("stcpipe: ProfileCached needs at least 2 rounds (fill + hit), got %d", rounds)
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("stcpipe: workload %q has no queries", w.Name)
+	}
+	ses := p.img.NewSession(p.validate)
+	for round := 1; round <= rounds; round++ {
+		for qi, q := range w.Queries {
+			label := fmt.Sprintf("%s-%d", w.Name, qi+1)
+			if qi < len(w.Labels) {
+				label = w.Labels[qi]
+			}
+			label = fmt.Sprintf("r%d-%s", round, label)
+			ses.Mark(label)
+			if err := drainTraced(db, ses, q); err != nil {
+				return nil, fmt.Errorf("stcpipe: %s: %w", label, err)
+			}
+			if err := ses.Err(); err != nil {
+				return nil, fmt.Errorf("stcpipe: %s: trace: %w", label, err)
+			}
+		}
+	}
+	return &Profile{pipe: p, tr: ses.Trace()}, nil
+}
+
+// MarkStat is the trace segment of one mark (one query execution):
+// its label, and how many block events / dynamic instructions the
+// execution recorded. A result-cache hit records zero of both.
+type MarkStat struct {
+	Label  string
+	Blocks int
+	Instrs uint64
+}
+
+// MarkStats slices the profile's trace at its marks, returning one
+// segment per recorded query execution in trace order. It is how the
+// cached-profile collapse is quantified (repeat rounds' segments are
+// empty), but works on any profile with marks.
+func (pr *Profile) MarkStats() []MarkStat {
+	prog := pr.tr.Program()
+	out := make([]MarkStat, 0, len(pr.tr.Marks))
+	for i, m := range pr.tr.Marks {
+		lo := m.Pos
+		hi := len(pr.tr.Blocks)
+		if i+1 < len(pr.tr.Marks) {
+			hi = pr.tr.Marks[i+1].Pos
+		}
+		st := MarkStat{Label: m.Label, Blocks: hi - lo}
+		for _, b := range pr.tr.Blocks[lo:hi] {
+			st.Instrs += uint64(prog.Block(b).Size)
+		}
+		out = append(out, st)
+	}
+	return out
+}

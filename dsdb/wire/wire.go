@@ -29,7 +29,9 @@ import (
 
 // ProtocolVersion is the protocol revision spoken by this package.
 // Hello carries the client's version; the server refuses mismatches.
-const ProtocolVersion = 1
+// Revision 2 added the Done frame's flags byte (cache-hit
+// attribution).
+const ProtocolVersion = 2
 
 // Magic opens every Hello frame ("DSDB").
 const Magic = 0x44534442
@@ -68,7 +70,8 @@ const (
 	// KindRowBatch carries up to BatchRows result rows (server →
 	// client).
 	KindRowBatch
-	// KindDone closes a result stream (server → client): row count.
+	// KindDone closes a result stream (server → client): row count and
+	// execution flags (DoneFlagCacheHit).
 	KindDone
 	// KindError reports a failure (server → client): code, message. For
 	// query-level errors the connection remains usable.
@@ -607,22 +610,31 @@ func DecodeRowBatch(p []byte) (RowBatch, error) {
 	return b, d.End()
 }
 
-// Done closes a result stream.
+// DoneFlagCacheHit marks a result stream that was served from the
+// server's query result cache: the rows came from memory, no executor
+// ran. Clients surface it as Rows.CacheHit; dsload attributes
+// latencies with it.
+const DoneFlagCacheHit uint8 = 1 << 0
+
+// Done closes a result stream: the row count, plus execution flags
+// attributing how the result was produced.
 type Done struct {
 	RowCount uint64
+	Flags    uint8
 }
 
 // EncodeDone builds a Done payload.
 func EncodeDone(dn Done) []byte {
 	var e Encoder
 	e.U64(dn.RowCount)
+	e.U8(dn.Flags)
 	return e.Bytes()
 }
 
 // DecodeDone parses a Done payload.
 func DecodeDone(p []byte) (Done, error) {
 	d := NewDecoder(p)
-	dn := Done{RowCount: d.U64()}
+	dn := Done{RowCount: d.U64(), Flags: d.U8()}
 	return dn, d.End()
 }
 

@@ -4,13 +4,20 @@
 // statistics — the module the paper identifies (with the access
 // methods) as a major source of instruction-cache misses.
 //
-// The pool is latched: every frame-table operation (lookup, pin,
-// unpin, clock sweep, flush) runs under one pool mutex, and hit/miss
-// counters are atomic, so any number of sessions can pin and release
-// pages concurrently without lost updates. Page contents themselves
-// are not latched — concurrent readers of a pinned page are safe,
-// while writers are serialized above the pool (the engine holds its
-// write latch across inserts and index builds).
+// The pool is latched at two granularities. Frame-table operations
+// (lookup, pin, unpin, clock sweep, flush) run under one pool mutex,
+// and hit/miss counters are atomic, so any number of sessions can pin
+// and release pages concurrently without lost updates. Miss IO,
+// however, runs under a frame-local latch: a miss claims its victim
+// frame under the pool mutex (publishing the claim in the frame
+// table), then drops the mutex and performs the evict-flush and the
+// storage read with only the frame held — so two sessions missing on
+// different pages overlap their IO, while a session racing for a page
+// whose read is in flight waits on that frame alone and still reads
+// the page from storage exactly once. Page contents themselves are
+// not latched — concurrent readers of a pinned page are safe, while
+// writers are serialized above the pool (the engine holds its write
+// latch across inserts and index builds).
 package buffer
 
 import (
@@ -30,6 +37,26 @@ type frame struct {
 	dirty bool
 	ref   bool
 	valid bool
+
+	// loading marks a claimed frame whose IO (evict-flush + storage
+	// read) is in flight under the frame-local latch: the key is
+	// published in the lookup table, pins is at least 1 (the loader's),
+	// but the contents are not yet valid. ready is the latch's release
+	// signal — closed by the loader when the IO finishes — and loadErr
+	// carries a failed read to the waiters (set before ready closes,
+	// read by waiters that still hold their pin, so it cannot be
+	// recycled under them).
+	loading bool
+	ready   chan struct{}
+	loadErr error
+}
+
+// flushWait is one in-flight evict-flush: done closes when the write
+// finished, err (set before done closes) reports its failure to any
+// session waiting to re-read the page.
+type flushWait struct {
+	done chan struct{}
+	err  error
 }
 
 // Buf is a pinned page handle.
@@ -46,25 +73,39 @@ type Buf struct {
 type Manager struct {
 	store *storage.Store
 
-	mu     sync.Mutex // guards frames, lookup and the clock hand
+	mu     sync.Mutex // guards frames, lookup, flushing and the clock hand
 	frames []frame
 	lookup map[key]int
 	hand   int
+
+	// flushing tracks pages whose evict-flush is in flight outside the
+	// pool mutex: the victim's lookup entry is gone (its frame was
+	// reassigned) but its dirty bytes have not reached storage yet. A
+	// miss that wants to read such a page must wait for the flush —
+	// and fail if the flush failed — or it would install stale bytes.
+	flushing map[key]*flushWait
 
 	// stats holds the pool's hit/miss counters (atomic, so no
 	// increments are lost under concurrent load).
 	stats  *probe.CounterSet
 	hits   *probe.Counter
 	misses *probe.Counter
+
+	// testEvictFlushHook, when non-nil, runs just before an
+	// evict-flush's storage write, after the pool mutex dropped — test
+	// instrumentation for holding the flush window open (the
+	// stale-reread regression test depends on it).
+	testEvictFlushHook func()
 }
 
 // New returns a buffer pool of n frames over the store.
 func New(store *storage.Store, n int) *Manager {
 	m := &Manager{
-		store:  store,
-		frames: make([]frame, n),
-		lookup: make(map[key]int, n),
-		stats:  probe.NewCounterSet(),
+		store:    store,
+		frames:   make([]frame, n),
+		lookup:   make(map[key]int, n),
+		flushing: make(map[key]*flushWait),
+		stats:    probe.NewCounterSet(),
 	}
 	m.hits = m.stats.Register("buffer.hits")
 	m.misses = m.stats.Register("buffer.misses")
@@ -76,25 +117,49 @@ func New(store *storage.Store, n int) *Manager {
 
 // Get pins the given page, reading it from storage on a miss. The
 // tracer receives the ReadBuffer instrumentation events (nil means
-// untraced). The lookup-or-read decision and the read itself run
-// under the pool latch, so two sessions racing for an unbuffered page
-// read it once: the loser of the race takes the hit path.
+// untraced). Two sessions racing for an unbuffered page still read it
+// from storage exactly once: the first claims the frame and performs
+// the read, the loser finds the in-flight claim in the frame table,
+// waits on that frame's latch, and takes the hit path.
 //
-// Hit-path instrumentation is emitted after the latch drops: the
+// Hit-path instrumentation is emitted after the pool latch drops: the
 // tracer is per-session state (sessions are single-threaded), so
 // moving the emits out of the critical section keeps hot hits — the
 // overwhelmingly common case for DSS scans — from serializing
-// concurrent sessions on trace recording. Miss-path emits still run
-// under the latch, interleaved with the eviction they describe; the
-// remaining step toward full concurrency is per-frame IO latches
-// (see ROADMAP).
+// concurrent sessions on trace recording. On a miss the clock sweep
+// (and its emits) runs under the pool mutex, but the evict-flush and
+// the storage read — the slow part — run under only the claimed
+// frame's latch, so misses on different pages overlap their IO.
 func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	tr = probe.Or(tr)
 	k := key{file, page}
 	m.mu.Lock()
 	if i, ok := m.lookup[k]; ok {
-		m.hits.Inc()
 		f := &m.frames[i]
+		if f.loading {
+			// Another session's read of this page is in flight: pin the
+			// frame (so it cannot be recycled under us), wait on its
+			// latch, then complete as a hit — the read happened once.
+			f.pins++
+			ready := f.ready
+			m.mu.Unlock()
+			tr.Emit(probe.BufGetEnter)
+			tr.Emit(probe.BufTableLookup)
+			<-ready
+			m.mu.Lock()
+			if err := f.loadErr; err != nil {
+				f.pins--
+				m.mu.Unlock()
+				return Buf{}, err
+			}
+			m.hits.Inc()
+			f.ref = true
+			b := Buf{Page: f.page, File: file, PageNo: page, idx: i}
+			m.mu.Unlock()
+			tr.Emit(probe.BufGetHit)
+			return b, nil
+		}
+		m.hits.Inc()
 		f.pins++
 		f.ref = true
 		b := Buf{Page: f.page, File: file, PageNo: page, idx: i}
@@ -104,30 +169,121 @@ func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 		tr.Emit(probe.BufGetHit)
 		return b, nil
 	}
-	defer m.mu.Unlock()
 	tr.Emit(probe.BufGetEnter)
 	tr.Emit(probe.BufTableLookup)
 	m.misses.Inc()
 	tr.Emit(probe.BufGetMiss)
+	// Claim a victim frame under the pool mutex: the clock sweep does
+	// no IO, it just picks the frame, publishes the claim under the new
+	// key and remembers what must be flushed.
 	i, err := m.evict(tr)
 	if err != nil {
+		m.mu.Unlock()
 		return Buf{}, err
 	}
-	tr.Emit(probe.BufGetRead)
 	f := &m.frames[i]
-	if err := m.store.ReadPage(file, page, f.page); err != nil {
-		f.valid = false
-		return Buf{}, err
-	}
-	tr.Emit(probe.SmgrRead)
+	oldKey, needFlush := f.key, f.valid && f.dirty
 	f.key = k
-	f.valid = true
+	f.valid = false
+	f.dirty = false
 	f.pins = 1
 	f.ref = true
-	f.dirty = false
+	f.loading = true
+	f.ready = make(chan struct{})
+	f.loadErr = nil
 	m.lookup[k] = i
+	var flushOut *flushWait
+	if needFlush {
+		// Publish the in-flight flush before dropping the mutex: a
+		// racing miss on oldKey no longer finds it in the lookup table
+		// and must not read it from storage until this write lands.
+		flushOut = &flushWait{done: make(chan struct{})}
+		m.flushing[oldKey] = flushOut
+	}
+	// A racing eviction may still be flushing the page we are about to
+	// read; its registration is visible here because its critical
+	// section (unmap + register) completed before ours found the page
+	// absent from the lookup table.
+	waitFlush := m.flushing[k]
+	m.mu.Unlock()
+
+	// IO under the frame latch only: evict-flush of the dirty victim,
+	// then the read that fills the frame. Other frames' misses proceed
+	// concurrently; waiters for this page block on f.ready above.
+	err = nil
+	if needFlush {
+		if m.testEvictFlushHook != nil {
+			m.testEvictFlushHook()
+		}
+		err = m.store.WritePage(oldKey.file, oldKey.page, f.page)
+		m.mu.Lock()
+		delete(m.flushing, oldKey)
+		if err != nil {
+			// The victim's bytes never reached storage: restore the
+			// frame to its old identity, valid and still dirty, so the
+			// data survives and a later eviction retries the write.
+			// The claim for k fails below; any waiters pinned on it see
+			// loadErr and drain before the clock can touch the frame.
+			f.key = oldKey
+			f.valid = true
+			f.dirty = true
+			m.lookup[oldKey] = i
+			m.failLoadLocked(f, k, i, err)
+			m.mu.Unlock()
+			flushOut.err = err
+			close(flushOut.done)
+			return Buf{}, err
+		}
+		m.mu.Unlock()
+		close(flushOut.done)
+	}
+	if waitFlush != nil {
+		<-waitFlush.done
+		if ferr := waitFlush.err; ferr != nil {
+			// The page's dirty bytes never made it to storage (they
+			// live on in the restored frame); reading now would install
+			// stale data. Fail this load.
+			m.mu.Lock()
+			f.valid = false
+			m.failLoadLocked(f, k, i, ferr)
+			m.mu.Unlock()
+			return Buf{}, ferr
+		}
+	}
+	tr.Emit(probe.BufGetRead)
+	if err := m.store.ReadPage(file, page, f.page); err != nil {
+		m.mu.Lock()
+		f.valid = false
+		m.failLoadLocked(f, k, i, err)
+		m.mu.Unlock()
+		return Buf{}, err
+	}
+	m.mu.Lock()
+	f.valid = true
+	f.loading = false
+	close(f.ready)
+	f.ready = nil
+	m.mu.Unlock()
+	tr.Emit(probe.SmgrRead)
 	tr.Emit(probe.BufGetFill)
 	return Buf{Page: f.page, File: file, PageNo: page, idx: i}, nil
+}
+
+// failLoadLocked fails an in-flight load: unpublish the claim for k
+// (the mapping can only still point at this frame — no session can
+// re-claim a key that is present in the lookup table), hand the
+// error to any waiters — they still hold pins, so the frame outlives
+// them — and release the loader's pin. The caller holds m.mu and has
+// already set the frame's restored identity, if any.
+func (m *Manager) failLoadLocked(f *frame, k key, i int, err error) {
+	if j, ok := m.lookup[k]; ok && j == i {
+		delete(m.lookup, k)
+	}
+	f.loadErr = err
+	f.loading = false
+	f.pins--
+	close(f.ready)
+	f.ready = nil
 }
 
 // NewPage allocates a fresh page in the file and returns it pinned.
@@ -153,8 +309,11 @@ func (m *Manager) Release(b Buf, dirty bool) {
 	}
 }
 
-// evict finds a free frame with the clock algorithm, flushing a dirty
-// victim (StrategyGetBuffer). The caller holds m.mu.
+// evict picks a victim frame with the clock algorithm
+// (StrategyGetBuffer) and unmaps it, without doing any IO: a dirty
+// victim's flush happens in Get under the frame latch, after the pool
+// mutex drops. The caller holds m.mu. Loading frames are pinned by
+// their loader, so the pins check skips them.
 func (m *Manager) evict(tr probe.Tracer) (int, error) {
 	tr = probe.Or(tr)
 	tr.Emit(probe.BufClockEnter)
@@ -163,27 +322,22 @@ func (m *Manager) evict(tr probe.Tracer) (int, error) {
 		i := m.hand
 		m.hand = (m.hand + 1) % n
 		f := &m.frames[i]
+		if f.pins > 0 {
+			// Covers loading frames too (their loader holds a pin), and
+			// failed-load frames still pinned by draining waiters.
+			tr.Emit(probe.BufClockSkip)
+			continue
+		}
 		if !f.valid {
 			tr.Emit(probe.BufClockTake)
 			return i, nil
-		}
-		if f.pins > 0 {
-			tr.Emit(probe.BufClockSkip)
-			continue
 		}
 		if f.ref {
 			f.ref = false
 			tr.Emit(probe.BufClockSkip)
 			continue
 		}
-		if f.dirty {
-			if err := m.store.WritePage(f.key.file, f.key.page, f.page); err != nil {
-				return 0, err
-			}
-			f.dirty = false
-		}
 		delete(m.lookup, f.key)
-		f.valid = false
 		tr.Emit(probe.BufClockTake)
 		return i, nil
 	}
@@ -191,17 +345,36 @@ func (m *Manager) evict(tr probe.Tracer) (int, error) {
 }
 
 // FlushAll writes every dirty frame back to storage (used after bulk
-// loads).
+// loads). Dirty pages whose evict-flush is in flight in a concurrent
+// miss live in no frame at that moment — their frame was reassigned —
+// so FlushAll also waits on the in-flight flush registry and
+// propagates its failures: when it returns nil, every page that was
+// dirty at entry is durably in storage.
 func (m *Manager) FlushAll() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i := range m.frames {
 		f := &m.frames[i]
 		if f.valid && f.dirty {
 			if err := m.store.WritePage(f.key.file, f.key.page, f.page); err != nil {
+				m.mu.Unlock()
 				return err
 			}
 			f.dirty = false
+		}
+	}
+	// Snapshot under the same mutex hold as the frame sweep: every
+	// page dirty at this instant is either in a frame (just written)
+	// or in this snapshot. The waits happen unlatched — the flusher
+	// needs the mutex to retire its registry entry.
+	waits := make([]*flushWait, 0, len(m.flushing))
+	for _, fw := range m.flushing {
+		waits = append(waits, fw)
+	}
+	m.mu.Unlock()
+	for _, fw := range waits {
+		<-fw.done
+		if fw.err != nil {
+			return fw.err
 		}
 	}
 	return nil

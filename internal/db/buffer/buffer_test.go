@@ -346,6 +346,243 @@ func TestMissPathEventSequenceUnchanged(t *testing.T) {
 	}
 }
 
+// rendezvousTracer blocks inside the BufGetRead emit — which fires
+// between the victim claim and the storage read, outside the pool
+// mutex — until every participating session has reached the same
+// point. If miss IO still ran under the pool mutex, the second
+// session could never reach BufGetRead while the first was parked
+// there, and the rendezvous would time out.
+type rendezvousTracer struct {
+	arrived chan<- struct{}
+	release <-chan struct{}
+}
+
+func (t *rendezvousTracer) Emit(id probe.ID) {
+	if id == probe.BufGetRead {
+		t.arrived <- struct{}{}
+		<-t.release
+	}
+}
+
+// TestConcurrentMissesOverlapIO pins the per-frame IO latch slice of
+// the latch-granularity roadmap item: two concurrent misses on
+// different pages must be able to sit in their storage reads at the
+// same time (each under its own frame latch), not serialized under
+// the pool mutex.
+func TestConcurrentMissesOverlapIO(t *testing.T) {
+	st, m := newEnv(t, 4, 4)
+	const sessions = 2
+	arrived := make(chan struct{}, sessions)
+	release := make(chan struct{})
+	done := make(chan error, sessions)
+	for g := 0; g < sessions; g++ {
+		go func(page int) {
+			b, err := m.Get(&rendezvousTracer{arrived: arrived, release: release}, 0, page)
+			if err == nil {
+				m.Release(b, false)
+			}
+			done <- err
+		}(g)
+	}
+	for i := 0; i < sessions; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatal("miss IO did not overlap: a session never reached its storage read while the other held one open")
+		}
+	}
+	close(release)
+	for i := 0; i < sessions; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := m.Stats(); hits != 0 || misses != sessions {
+		t.Fatalf("hits/misses = %d/%d, want 0/%d", hits, misses, sessions)
+	}
+	if got := st.Reads(); got != sessions {
+		t.Fatalf("storage reads = %d, want %d", got, sessions)
+	}
+	if n := m.PinnedFrames(); n != 0 {
+		t.Fatalf("leaked %d pins", n)
+	}
+}
+
+// TestWaiterGetsLoadersRead pins the read-page-once guarantee across
+// the frame latch: a session that races a loading frame must wait for
+// the in-flight read, come back as a hit, and see the loaded
+// contents.
+func TestWaiterGetsLoadersRead(t *testing.T) {
+	st, m := newEnv(t, 4, 4)
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	loaderDone := make(chan error, 1)
+	go func() {
+		b, err := m.Get(&rendezvousTracer{arrived: arrived, release: release}, 0, 1)
+		if err == nil {
+			m.Release(b, false)
+		}
+		loaderDone <- err
+	}()
+	<-arrived // the loader holds the frame latch, read not yet issued
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		b, err := m.Get(nil, 0, 1)
+		if err == nil {
+			if raw, terr := b.Page.Tuple(0); terr != nil || raw[0] != 1 {
+				err = fmt.Errorf("waiter saw wrong contents: %v %v", raw, terr)
+			}
+			m.Release(b, false)
+		}
+		waiterDone <- err
+	}()
+	// The waiter must block on the frame latch, not error or read.
+	select {
+	case err := <-waiterDone:
+		t.Fatalf("waiter completed before the load finished (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-loaderDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := m.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if got := st.Reads(); got != 1 {
+		t.Fatalf("storage reads = %d, want 1 (read-page-once violated)", got)
+	}
+}
+
+// TestEvictFlushNotOvertakenByReread regression-tests the in-flight
+// flush registry: when a miss evicts a dirty victim and flushes it
+// outside the pool mutex, a concurrent miss re-reading that same page
+// must wait for the flush — reading storage early would install the
+// page's pre-flush (stale) bytes. The test parks the evictor inside
+// its flush window (via the test hook) and proves the re-reader
+// cannot complete until the flush lands, and then sees the flushed
+// contents.
+func TestEvictFlushNotOvertakenByReread(t *testing.T) {
+	_, m := newEnv(t, 2, 3)
+	inFlush := make(chan struct{})
+	releaseFlush := make(chan struct{})
+	m.testEvictFlushHook = func() {
+		close(inFlush)
+		<-releaseFlush
+	}
+	// Frame 0 holds page 0, dirtied with a second tuple that only the
+	// flushed version has; frame 1 holds page 1 clean. The next miss's
+	// clock sweep clears both ref bits and takes frame 0 — the dirty
+	// one — as its victim.
+	b, err := m.Get(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Page.AddTuple([]byte("mutation"))
+	m.Release(b, true)
+	if b, err = m.Get(nil, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(b, false)
+
+	evictorDone := make(chan error, 1)
+	go func() { // evicts dirty page 0 to load page 2; parks in the hook
+		b, err := m.Get(nil, 0, 2)
+		if err == nil {
+			m.Release(b, false)
+		}
+		evictorDone <- err
+	}()
+	<-inFlush // page 0 is unmapped, its dirty bytes not yet in storage
+
+	rereadDone := make(chan error, 1)
+	go func() { // re-reads page 0 mid-flush
+		b, err := m.Get(nil, 0, 0)
+		if err == nil {
+			if b.Page.NumSlots() != 2 {
+				err = fmt.Errorf("re-read page 0 with %d slots, want 2 (stale pre-flush bytes)", b.Page.NumSlots())
+			}
+			m.Release(b, false)
+		}
+		rereadDone <- err
+	}()
+	// The re-reader must block on the in-flight flush, not complete
+	// with whatever storage holds right now.
+	select {
+	case err := <-rereadDone:
+		t.Fatalf("re-read completed while the evict-flush was still in flight (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(releaseFlush)
+	if err := <-evictorDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-rereadDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushAllWaitsForInFlightEvictFlush: a dirty page mid-evict
+// lives in no frame, so FlushAll's frame sweep cannot see it — it
+// must wait on the in-flight flush registry instead of reporting
+// durability it does not have.
+func TestFlushAllWaitsForInFlightEvictFlush(t *testing.T) {
+	st, m := newEnv(t, 2, 3)
+	inFlush := make(chan struct{})
+	releaseFlush := make(chan struct{})
+	m.testEvictFlushHook = func() {
+		close(inFlush)
+		<-releaseFlush
+	}
+	b, err := m.Get(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Page.AddTuple([]byte("mutation"))
+	m.Release(b, true)
+	if b, err = m.Get(nil, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(b, false)
+
+	evictorDone := make(chan error, 1)
+	go func() { // evicts dirty page 0, parks inside its flush window
+		b, err := m.Get(nil, 0, 2)
+		if err == nil {
+			m.Release(b, false)
+		}
+		evictorDone <- err
+	}()
+	<-inFlush
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- m.FlushAll() }()
+	select {
+	case err := <-flushDone:
+		t.Fatalf("FlushAll returned (err=%v) while an evict-flush was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(releaseFlush)
+	if err := <-flushDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-evictorDone; err != nil {
+		t.Fatal(err)
+	}
+	// The durability FlushAll promised: page 0's mutation is in storage.
+	p := storage.NewPage()
+	if err := st.ReadPage(0, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 2 {
+		t.Fatalf("page 0 has %d slots in storage after FlushAll, want 2", p.NumSlots())
+	}
+}
+
 // TestConcurrentGetSamePageReadsOnce races every goroutine for the
 // same cold page: the pool latch must admit exactly one storage read.
 func TestConcurrentGetSamePageReadsOnce(t *testing.T) {

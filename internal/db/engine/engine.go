@@ -93,6 +93,14 @@ type DB struct {
 	btrees map[string]*access.BTree
 	hashes map[string]*access.HashIndex
 	rows   map[string]int
+
+	// epochs carries one monotonic write-epoch counter per table,
+	// bumped by every Insert and every DDL statement that touches the
+	// table. Epochs are how the result cache (dsdb/qcache) validates
+	// entries: a cached result is served only while every referenced
+	// table's epoch is unchanged. Like the other maps, epochs is
+	// written under the exclusive latch and read under the shared one.
+	epochs map[string]uint64
 }
 
 // Open creates an empty database with a buffer pool of the given
@@ -108,6 +116,7 @@ func Open(frames int) *DB {
 		btrees: make(map[string]*access.BTree),
 		hashes: make(map[string]*access.HashIndex),
 		rows:   make(map[string]int),
+		epochs: make(map[string]uint64),
 	}
 }
 
@@ -132,6 +141,7 @@ func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, 
 	}
 	db.Store.EnsureFiles(db.Cat.NumFiles())
 	db.heaps[name] = access.NewHeap(db.Buf, t.FileID)
+	db.epochs[name]++
 	return t, nil
 }
 
@@ -145,6 +155,7 @@ func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique b
 	if err != nil {
 		return err
 	}
+	db.epochs[table]++
 	db.Store.EnsureFiles(db.Cat.NumFiles())
 	switch kind {
 	case catalog.BTree:
@@ -209,6 +220,11 @@ func (db *DB) Insert(table string, row []value.Value) error {
 	if err != nil {
 		return err
 	}
+	// The heap has mutated: bump the epoch now, not after index
+	// maintenance — a failed index insert still leaves the new row
+	// visible to sequential scans, and a cached result that misses it
+	// must not keep validating.
+	db.epochs[table]++
 	for _, ix := range t.Indexes {
 		if err := db.indexInsertOne(ix, row, tid); err != nil {
 			return err
@@ -223,6 +239,13 @@ func (db *DB) Insert(table string, row []value.Value) error {
 // latch (BeginRead) or on a quiesced engine: the latch is not
 // reentrant, so the accessors do not take it themselves.
 func (db *DB) NumRows(table string) int { return db.rows[table] }
+
+// TableEpoch returns a table's write epoch: a monotonic counter bumped
+// by every Insert and every DDL statement touching the table (0 for a
+// table that was never written). Call under BeginRead, like the other
+// map accessors — a reader holding the shared latch sees a stable
+// epoch for the whole execution, since writers are excluded.
+func (db *DB) TableEpoch(table string) uint64 { return db.epochs[table] }
 
 // Heap returns a table's heap access method (call under BeginRead).
 func (db *DB) Heap(table string) *access.Heap { return db.heaps[table] }

@@ -1,0 +1,62 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/db/catalog"
+	"repro/internal/db/engine"
+	"repro/internal/db/value"
+)
+
+// TestTableEpochs pins the invalidation counter protocol: every
+// Insert and every DDL statement touching a table bumps its epoch,
+// epochs are per-table, and an unknown table reads as 0.
+func TestTableEpochs(t *testing.T) {
+	db := engine.Open(64)
+	epoch := func(table string) uint64 {
+		release := db.BeginRead()
+		defer release()
+		return db.TableEpoch(table)
+	}
+	if got := epoch("nope"); got != 0 {
+		t.Fatalf("unknown table epoch = %d, want 0", got)
+	}
+	sch := catalog.NewSchema(catalog.Column{Name: "k", Type: value.Int})
+	if _, err := db.CreateTable("a", sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("b", catalog.NewSchema(catalog.Column{Name: "k", Type: value.Int})); err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := epoch("a"), epoch("b")
+	if ea == 0 || eb == 0 {
+		t.Fatalf("CreateTable must bump the epoch: a=%d b=%d", ea, eb)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Insert("a", []value.Value{value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := epoch("a"); got != ea+3 {
+		t.Fatalf("epoch(a) = %d after 3 inserts, want %d", got, ea+3)
+	}
+	if got := epoch("b"); got != eb {
+		t.Fatalf("epoch(b) moved to %d on writes to a", got)
+	}
+	if err := db.CreateIndex("a", "k", catalog.BTree, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := epoch("a"); got != ea+4 {
+		t.Fatalf("epoch(a) = %d after CreateIndex, want %d", got, ea+4)
+	}
+	// A partially failed Insert — heap append succeeded, index
+	// maintenance rejected the key — still mutated the table, so the
+	// epoch must move: the new row is visible to sequential scans and
+	// cached results over the old heap must stop validating.
+	if err := db.Insert("a", []value.Value{value.NewFloat(1.5)}); err == nil {
+		t.Fatal("float key on an int index should fail index maintenance")
+	}
+	if got := epoch("a"); got != ea+5 {
+		t.Fatalf("epoch(a) = %d after failed-index Insert, want %d (heap mutated without invalidation)", got, ea+5)
+	}
+}

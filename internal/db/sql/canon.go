@@ -1,0 +1,152 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the parsed statement back to one normalized SQL
+// string: keywords and identifiers lower-cased (the lexer already
+// did), whitespace collapsed, every expression fully parenthesized,
+// and all literals preserved verbatim — so two spellings of the same
+// query produce the same string. It is the result-cache key: unlike
+// the ad-hoc String() methods (which feed error messages and derived
+// column names and may elide detail), Canonical is lossless for
+// everything that can change a result set, aliases included (they
+// name output columns).
+func (st *SelectStmt) Canonical() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	for i, it := range st.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Agg != "" {
+			b.WriteString(it.Agg)
+			b.WriteByte('(')
+			if it.Star {
+				b.WriteByte('*')
+			} else {
+				canonNode(&b, it.Expr)
+			}
+			b.WriteByte(')')
+		} else {
+			canonNode(&b, it.Expr)
+		}
+		if it.Alias != "" {
+			b.WriteString(" as ")
+			b.WriteString(it.Alias)
+		}
+	}
+	b.WriteString(" from ")
+	b.WriteString(strings.Join(st.From, ", "))
+	if st.Where != nil {
+		b.WriteString(" where ")
+		canonNode(&b, st.Where)
+	}
+	if len(st.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		b.WriteString(strings.Join(st.GroupBy, ", "))
+	}
+	for i, ob := range st.OrderBy {
+		if i == 0 {
+			b.WriteString(" order by ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(ob.Col)
+		if ob.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	if st.Limit >= 0 {
+		b.WriteString(" limit ")
+		b.WriteString(strconv.Itoa(st.Limit))
+	}
+	return b.String()
+}
+
+// canonNode renders one expression node losslessly (String() is not
+// reused: inExpr and likeExpr elide their operands there, and changing
+// String would perturb derived output column names).
+func canonNode(b *strings.Builder, n node) {
+	switch x := n.(type) {
+	case *colRef:
+		b.WriteString(x.name)
+	case *intLit:
+		b.WriteString(strconv.FormatInt(x.v, 10))
+	case *floatLit:
+		// Decimal form, never exponent (the lexer cannot re-parse
+		// "1e+06"), and always with a fractional part: an
+		// integral-valued float must not collide with the int literal
+		// of the same value — int and float arithmetic produce
+		// differently typed results, so they are different queries.
+		s := strconv.FormatFloat(x.v, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *strLit:
+		canonStr(b, x.v)
+	case *binExpr:
+		b.WriteByte('(')
+		canonNode(b, x.l)
+		b.WriteByte(' ')
+		b.WriteString(x.op)
+		b.WriteByte(' ')
+		canonNode(b, x.r)
+		b.WriteByte(')')
+	case *andExpr:
+		canonList(b, x.args, " and ")
+	case *orExpr:
+		canonList(b, x.args, " or ")
+	case *notExpr:
+		b.WriteString("(not ")
+		canonNode(b, x.arg)
+		b.WriteByte(')')
+	case *likeExpr:
+		b.WriteByte('(')
+		canonNode(b, x.arg)
+		if x.negate {
+			b.WriteString(" not")
+		}
+		b.WriteString(" like ")
+		canonStr(b, x.pattern)
+		b.WriteByte(')')
+	case *inExpr:
+		b.WriteByte('(')
+		canonNode(b, x.arg)
+		b.WriteString(" in (")
+		for i, el := range x.list {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonNode(b, el)
+		}
+		b.WriteString("))")
+	default:
+		// Unreachable for nodes the parser produces; keep the render
+		// total so a future node kind degrades to a distinct key rather
+		// than a collision.
+		b.WriteString(n.String())
+	}
+}
+
+func canonList(b *strings.Builder, args []node, sep string) {
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		canonNode(b, a)
+	}
+	b.WriteByte(')')
+}
+
+// canonStr renders a string literal with SQL quote doubling, so the
+// canonical text re-parses to the same literal.
+func canonStr(b *strings.Builder, s string) {
+	b.WriteByte('\'')
+	b.WriteString(strings.ReplaceAll(s, "'", "''"))
+	b.WriteByte('\'')
+}

@@ -1,0 +1,97 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/db/catalog"
+	"repro/internal/db/executor"
+)
+
+// TestCanonicalNormalizesSpelling: case and whitespace variants of one
+// query canonicalize identically; semantically different queries do
+// not.
+func TestCanonicalNormalizesSpelling(t *testing.T) {
+	same := [][2]string{
+		{"select a from t", "SELECT  a\nFROM   t"},
+		{"select sum(a) as s from t where a < 5 and b = 'x'",
+			"SELECT SUM(a) AS s FROM t WHERE a<5 AND b='x'"},
+		{"select a from t where a in (1, 2, 3) order by a desc limit 7",
+			"select a from t where a in(1,2,3) order by a DESC limit 7"},
+		{"select a from t where s like 'ab%'", "select a from t where s LIKE 'ab%'"},
+	}
+	for _, pair := range same {
+		c0 := mustCanon(t, pair[0])
+		c1 := mustCanon(t, pair[1])
+		if c0 != c1 {
+			t.Errorf("canonical forms differ:\n  %q -> %q\n  %q -> %q", pair[0], c0, pair[1], c1)
+		}
+	}
+	diff := [][2]string{
+		{"select a from t where a < 5", "select a from t where a < 6"},
+		// An integral-valued float is NOT the int of the same value:
+		// int and float arithmetic produce differently typed results.
+		{"select a * 2 from t", "select a * 2.0 from t"},
+		{"select a from t where a in (1, 2)", "select a from t where a in (1, 3)"},
+		{"select a from t where s like 'x%'", "select a from t where s not like 'x%'"},
+		{"select a from t", "select a as b from t"},
+		{"select a from t where s = 'x'", "select a from t where s = 'X'"},
+		{"select a from t order by a", "select a from t order by a desc"},
+	}
+	for _, pair := range diff {
+		c0 := mustCanon(t, pair[0])
+		c1 := mustCanon(t, pair[1])
+		if c0 == c1 {
+			t.Errorf("distinct queries collide on %q:\n  %q\n  %q", c0, pair[0], pair[1])
+		}
+	}
+}
+
+// TestCanonicalReparses: the canonical text must itself parse, to the
+// same canonical form (a fixed point) — so keys are stable however
+// many times text round-trips.
+func TestCanonicalReparses(t *testing.T) {
+	queries := []string{
+		"select a, sum(b) as total from t where (a < 5 or a > 10) and not s like 'x%' group by a order by a limit 3",
+		"select count(*) from t where d in ('1994-01-01', '1995-06-15')",
+		"select a from t where s = 'it''s'",
+		"select a * 2.0 from t where b > 0.25",
+	}
+	for _, q := range queries {
+		c0 := mustCanon(t, q)
+		c1 := mustCanon(t, c0)
+		if c0 != c1 {
+			t.Errorf("canonical form is not a fixed point:\n  %q\n  -> %q\n  -> %q", q, c0, c1)
+		}
+	}
+}
+
+// TestCompileQueryFootprint: the compiled metadata carries the
+// deduplicated FROM tables and a non-empty key.
+func TestCompileQueryFootprint(t *testing.T) {
+	db := miniDB(t, catalog.BTree)
+	sch := catalog.NewSchema(
+		catalog.Column{Name: "u", Type: 0},
+	)
+	if _, err := db.CreateTable("t2", sch); err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileQuery(db, executor.NewCtx(nil), "select k from t, t2 where k = u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cq.Tables) != 2 || cq.Tables[0] != "t" || cq.Tables[1] != "t2" {
+		t.Fatalf("Tables = %v, want [t t2]", cq.Tables)
+	}
+	if cq.Key == "" || cq.Plan == nil {
+		t.Fatalf("incomplete Compiled: %+v", cq)
+	}
+}
+
+func mustCanon(t *testing.T, q string) string {
+	t.Helper()
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return st.Canonical()
+}

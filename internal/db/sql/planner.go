@@ -715,17 +715,70 @@ func joinedSchema(l, r *catalog.Schema) *catalog.Schema {
 	return catalog.NewSchema(cols...)
 }
 
-// Compile parses and plans a query without running it — the
-// parse/plan-once half of a prepared statement. The returned plan can
-// be executed repeatedly (executor nodes reset on Open), but holds
+// Compiled bundles a plan with its compile-time metadata: the query's
+// table footprint (what the result cache validates epochs against)
+// and its canonical text (the cache key).
+type Compiled struct {
+	Plan executor.Node
+	// Tables is the deduplicated FROM footprint, in first-mention
+	// order.
+	Tables []string
+	// Key is the canonicalized query text (see SelectStmt.Canonical).
+	Key string
+}
+
+// CompileQuery parses and plans a query without running it — the
+// parse/plan-once half of a prepared statement — and returns the plan
+// together with its footprint and canonical key. The plan can be
+// executed repeatedly (executor nodes reset on Open), but holds
 // mutable state and must not be run concurrently.
-func Compile(db *engine.DB, c *executor.Ctx, query string) (executor.Node, error) {
+func CompileQuery(db *engine.DB, c *executor.Ctx, query string) (*Compiled, error) {
 	st, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	pl := &Planner{DB: db, C: c}
-	return pl.Plan(st)
+	plan, err := pl.Plan(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Plan: plan, Tables: dedupFrom(st.From), Key: st.Canonical()}, nil
+}
+
+// Analyze parses a query just far enough for a result-cache lookup:
+// its canonical key and deduplicated table footprint, without
+// planning. A hit served off these never needs the plan; a miss
+// proceeds to CompileQuery (which re-parses — parsing is a small
+// fraction of planning, let alone execution).
+func Analyze(query string) (key string, tables []string, err error) {
+	st, err := Parse(query)
+	if err != nil {
+		return "", nil, err
+	}
+	return st.Canonical(), dedupFrom(st.From), nil
+}
+
+// dedupFrom returns the FROM list with duplicates removed, in
+// first-mention order.
+func dedupFrom(from []string) []string {
+	tables := make([]string, 0, len(from))
+	seen := make(map[string]bool, len(from))
+	for _, t := range from {
+		if !seen[t] {
+			seen[t] = true
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// Compile is CompileQuery without the metadata.
+func Compile(db *engine.DB, c *executor.Ctx, query string) (executor.Node, error) {
+	cq, err := CompileQuery(db, c, query)
+	if err != nil {
+		return nil, err
+	}
+	return cq.Plan, nil
 }
 
 // Exec parses, plans and runs a query in one call.
