@@ -7,6 +7,14 @@
 //	dsdbd -addr 127.0.0.1:5454 -sf 0.002
 //	dsdbd -addr :5454 -hash -max-conns 128 -query-timeout 30s
 //	dsdbd -addr :5454 -result-cache-bytes 67108864   # 64MB result cache
+//	dsdbd -addr :5454 -data-dir /var/lib/dsdb        # durable; restarts warm-start
+//
+// With -data-dir the database is durable: the first start builds the
+// TPC-D dataset, checkpoints it into the directory and write-ahead
+// logs every mutation after that; any later start (including after a
+// SIGKILL) recovers from the directory and skips the TPC-D load
+// entirely. A graceful shutdown drains connections at query boundaries
+// and checkpoints before exiting, so the next start replays nothing.
 //
 // Pair it with cmd/dsload for closed-loop load, or dial it from any
 // program via dsdb/client.
@@ -37,7 +45,14 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before force-closing")
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
+	cacheTTL := flag.Duration("result-cache-ttl", 0, "result cache entry TTL (0 = no expiry)")
+	cacheMinCost := flag.Duration("result-cache-min-cost", 0, "result cache admission threshold: skip caching queries whose first run was faster (0 = admit all)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory; existing dirs warm-start, skipping the TPC-D load)")
 	flag.Parse()
+
+	if (*cacheTTL > 0 || *cacheMinCost > 0) && *cacheBytes <= 0 {
+		log.Fatal("dsdbd: -result-cache-ttl/-result-cache-min-cost need -result-cache-bytes > 0")
+	}
 
 	kind := dsdb.BTree
 	if *hash {
@@ -47,11 +62,21 @@ func main() {
 	opts := []dsdb.Option{dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind),
 		dsdb.WithSeed(*seed), dsdb.WithBufferFrames(*frames)}
 	if *cacheBytes > 0 {
-		opts = append(opts, dsdb.WithResultCache(*cacheBytes))
+		opts = append(opts, dsdb.WithResultCache(*cacheBytes),
+			dsdb.WithResultCacheTTL(*cacheTTL),
+			dsdb.WithResultCacheAdmission(*cacheMinCost))
+	}
+	if *dataDir != "" {
+		opts = append(opts, dsdb.WithDataDir(*dataDir))
 	}
 	db, err := dsdb.Open(opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if db.WarmStarted() {
+		fmt.Fprintf(os.Stderr, "dsdbd: warm start from %s (recovered; TPC-D load skipped)\n", *dataDir)
+	} else if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "dsdbd: built durable database in %s\n", *dataDir)
 	}
 
 	srv := server.New(db,
@@ -73,8 +98,16 @@ func main() {
 			log.Fatalf("dsdbd: forced shutdown: %v", err)
 		}
 		if st, ok := db.ResultCacheStats(); ok {
-			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations\n",
-				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations)
+			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations, %d expirations, %d admission rejects\n",
+				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations, st.Expirations, st.AdmissionRejects)
+		}
+		// Checkpoint-on-drain: collapse the log into page files so the
+		// next start recovers instantly (Close checkpoints durable DBs).
+		if err := db.Close(); err != nil {
+			log.Fatalf("dsdbd: closing database: %v", err)
+		}
+		if db.Durable() {
+			fmt.Fprintln(os.Stderr, "dsdbd: checkpointed data directory")
 		}
 		fmt.Fprintln(os.Stderr, "dsdbd: clean shutdown")
 	case err := <-errc:

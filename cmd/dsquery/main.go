@@ -6,6 +6,7 @@
 //
 //	dsquery -sql "select count(*) from lineitem where l_quantity < 10"
 //	dsquery -q 6 -result-cache-bytes 4194304 -repeat 3   # repeat 2+ hit the cache
+//	dsquery -q 6 -data-dir /tmp/dsdb   # first run builds the dir, later runs warm-start
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "partition-parallel scan workers (1 = serial)")
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
 	repeat := flag.Int("repeat", 1, "run the query this many times (rows printed once; repeats show cache hits)")
+	dataDir := flag.String("data-dir", "", "durable data directory: first run builds and checkpoints it, later runs warm-start without reloading TPC-D")
 	flag.Parse()
 
 	query := *text
@@ -49,9 +51,16 @@ func main() {
 	if *cacheBytes > 0 {
 		opts = append(opts, dsdb.WithResultCache(*cacheBytes))
 	}
+	if *dataDir != "" {
+		opts = append(opts, dsdb.WithDataDir(*dataDir))
+	}
 	db, err := dsdb.Open(opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer db.Close()
+	if db.WarmStarted() {
+		fmt.Fprintf(os.Stderr, "warm start from %s (TPC-D load skipped)\n", *dataDir)
 	}
 	if *repeat < 1 {
 		*repeat = 1

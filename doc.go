@@ -19,12 +19,20 @@
 //     no executor, no buffer traffic, no instrumentation events —
 //     consistently: entries are validated against per-table write
 //     epochs, so writes invalidate exactly the results that read
-//     them.
+//     them. WithDataDir(dir) makes the database durable: pages live
+//     in checkpoint-generation files on disk, every Insert and DDL
+//     statement is write-ahead logged before it mutates anything, and
+//     reopening the directory recovers to the exact committed prefix
+//     — a restarted server warm-starts instead of re-loading TPC-D
+//     (Checkpoint collapses the log; Close checkpoints; Abandon
+//     simulates a crash).
 //   - repro/dsdb/qcache — the result cache itself: canonical-SQL
 //     keys, fully materialized row sets, a configurable byte budget
-//     under a deterministic accounting model with LRU eviction, and
-//     epoch-validated consistency, shared by the local and served
-//     query paths.
+//     under a deterministic accounting model with LRU eviction,
+//     epoch-validated consistency, an optional admission threshold
+//     (sub-threshold first executions are not cached) and optional
+//     wall-clock TTLs with an injectable clock, shared by the local
+//     and served query paths.
 //   - repro/dsdb/stcpipe — the paper's toolchain as one composable
 //     pipeline: Profile (traced workload → weighted CFG), Layout
 //     (pluggable algorithms: STC, Pettis & Hansen, Torrellas,
@@ -59,9 +67,10 @@
 // serving daemon), cmd/dsload (load generation), cmd/profiler and
 // cmd/experiments (the paper's analyses).
 //
-// Everything under internal/ — the storage manager, buffer manager,
-// B-tree/hash access methods, Volcano executor, SQL front end, TPC-D
-// generator, kernel image, and the layout/fetch simulators — is
-// implementation detail reached only through the public packages. See
-// README.md, DESIGN.md and EXPERIMENTS.md.
+// Everything under internal/ — the storage manager (in-memory or
+// disk-backed under a data directory), write-ahead log, buffer
+// manager, B-tree/hash access methods, Volcano executor, SQL front
+// end, TPC-D generator, kernel image, and the layout/fetch simulators
+// — is implementation detail reached only through the public
+// packages. See README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

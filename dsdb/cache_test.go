@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/dsdb"
 	"repro/internal/db/probe"
@@ -376,5 +377,95 @@ func TestResultCachePartialConsumptionDoesNotFill(t *testing.T) {
 	}
 	if n != len(full.Rows) {
 		t.Fatalf("cache served %d rows, executor produced %d (truncated fill?)", n, len(full.Rows))
+	}
+}
+
+// TestResultCacheAdmissionThreshold pins the WithResultCacheAdmission
+// wiring: with an unreachably high threshold nothing is admitted (and
+// the rejects are counted), with the policy off everything is.
+func TestResultCacheAdmissionThreshold(t *testing.T) {
+	ctx := context.Background()
+	q, _ := dsdb.TPCDQuery(6)
+
+	strict := openTPCD(t, 0.0005, dsdb.WithResultCache(cacheBudget),
+		dsdb.WithResultCacheAdmission(time.Hour))
+	defer strict.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := strict.Exec(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := strict.ResultCacheStats()
+	if st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("hour-threshold cache admitted entries: %+v", st)
+	}
+	if st.AdmissionRejects == 0 {
+		t.Fatalf("admission rejects not counted: %+v", st)
+	}
+
+	open := openTPCD(t, 0.0005, dsdb.WithResultCache(cacheBudget))
+	defer open.Close()
+	if _, err := open.Exec(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := open.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := rows.CacheHit()
+	rows.Close()
+	if !hit {
+		t.Fatal("no-threshold cache did not serve the repeat")
+	}
+}
+
+// TestResultCacheTTLExpiry pins the WithResultCacheTTL wiring with an
+// injected clock: entries serve inside the TTL and expire (counted as
+// misses) past it, after which a re-execution refills.
+func TestResultCacheTTLExpiry(t *testing.T) {
+	ctx := context.Background()
+	q, _ := dsdb.TPCDQuery(6)
+	db := openTPCD(t, 0.0005, dsdb.WithResultCache(cacheBudget),
+		dsdb.WithResultCacheTTL(time.Minute))
+	defer db.Close()
+
+	base := time.Now()
+	now := base
+	db.ResultCache().SetNowFunc(func() time.Time { return now })
+
+	if _, err := db.Exec(ctx, q); err != nil { // fill
+		t.Fatal(err)
+	}
+	hitNow := func() bool {
+		t.Helper()
+		rows, err := db.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		for rows.Next() {
+		}
+		return rows.CacheHit()
+	}
+	now = base.Add(30 * time.Second)
+	if !hitNow() {
+		t.Fatal("entry expired inside its TTL")
+	}
+	before, _ := db.ResultCacheStats()
+	now = base.Add(2 * time.Minute)
+	if hitNow() { // expired: this execution is a miss and a refill
+		t.Fatal("entry served past its TTL")
+	}
+	after, _ := db.ResultCacheStats()
+	if after.Expirations != before.Expirations+1 {
+		t.Fatalf("expirations %d -> %d, want +1", before.Expirations, after.Expirations)
+	}
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("expired Get not counted as a miss: %+v", after)
+	}
+	// The refill (stored at the new clock) serves again.
+	now = now.Add(30 * time.Second)
+	if !hitNow() {
+		t.Fatal("refilled entry did not serve inside its new TTL")
 	}
 }

@@ -15,8 +15,12 @@
 package dsdb
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/dsdb/qcache"
 	"repro/internal/db/catalog"
@@ -77,14 +81,17 @@ type Tracer = probe.Tracer
 
 // config collects the Open options.
 type config struct {
-	frames      int
-	indexes     IndexKind
-	tracer      Tracer
-	seed        int64
-	tpcdSF      float64
-	loadTPCD    bool
-	parallelism int
-	cacheBytes  int64
+	frames       int
+	indexes      IndexKind
+	tracer       Tracer
+	seed         int64
+	tpcdSF       float64
+	loadTPCD     bool
+	parallelism  int
+	cacheBytes   int64
+	cacheTTL     time.Duration
+	cacheMinCost time.Duration
+	dataDir      string
 }
 
 // Option configures Open.
@@ -156,6 +163,41 @@ func WithResultCache(bytes int64) Option {
 	return func(c *config) { c.cacheBytes = bytes }
 }
 
+// WithResultCacheTTL bounds the wall-clock lifetime of result-cache
+// entries (0, the default, keeps entries until invalidation or
+// eviction). Expired entries are dropped on first touch and counted as
+// misses — the knob for workloads whose answers go stale by clock time
+// even though no tracked table changed (external feeds, approximate
+// dashboards). Meaningful only together with WithResultCache.
+func WithResultCacheTTL(ttl time.Duration) Option {
+	return func(c *config) { c.cacheTTL = ttl }
+}
+
+// WithResultCacheAdmission sets the result cache's admission
+// threshold: a query whose first execution completed faster than min
+// is not cached at all (0, the default, admits everything). Cheap
+// queries — the sub-millisecond point lookups that pepper DSS traffic
+// — are cheaper to re-run than the cache space they would steal from
+// the expensive aggregates the cache exists for. Meaningful only
+// together with WithResultCache.
+func WithResultCacheAdmission(min time.Duration) Option {
+	return func(c *config) { c.cacheMinCost = min }
+}
+
+// WithDataDir makes the database durable, rooted at dir: pages live in
+// checkpoint-generation files on disk, and every Insert and DDL
+// statement is write-ahead logged, so the database survives crashes
+// and restarts. Opening a directory that already holds a database
+// recovers it — replaying the log to the exact committed prefix — and
+// skips any WithTPCD preload (the warm start dsdbd restarts rely on);
+// a fresh directory is populated (bulk-loading TPC-D unlogged and
+// checkpointing it, when WithTPCD is given) and then logs normally.
+// Close checkpoints, so a cleanly closed database reopens with an
+// empty log. See DB.Checkpoint for the explicit durability point.
+func WithDataDir(dir string) Option {
+	return func(c *config) { c.dataDir = dir }
+}
+
 // DB is one open database, safe for concurrent use: any number of
 // goroutines may call Query, QueryRow, Exec and Prepare at once, each
 // execution getting its own executor context. Queries hold the
@@ -180,6 +222,10 @@ type DB struct {
 	// cache is the query result cache (nil when Open ran without
 	// WithResultCache). It is immutable after Open.
 	cache *qcache.Cache
+
+	// recovered reports that Open found existing durable state in the
+	// data directory and replayed it instead of loading fresh data.
+	recovered bool
 }
 
 // Open creates a database configured by the given options.
@@ -191,28 +237,114 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.frames <= 0 {
 		return nil, fmt.Errorf("dsdb: buffer pool must have at least 1 frame, got %d", cfg.frames)
 	}
+	var eng *engine.DB
+	recovered := false
+	if cfg.dataDir != "" {
+		var err error
+		eng, recovered, err = engine.OpenDurable(cfg.frames, cfg.dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("dsdb: opening data dir %s: %w", cfg.dataDir, err)
+		}
+	} else {
+		eng = engine.Open(cfg.frames)
+	}
 	db := &DB{
-		eng:          engine.Open(cfg.frames),
+		eng:          eng,
 		tracer:       cfg.tracer,
 		parallelism:  cfg.parallelism,
 		workerCounts: probe.NewCountingTracer(),
+		recovered:    recovered,
 	}
 	if cfg.cacheBytes > 0 {
-		db.cache = qcache.New(cfg.cacheBytes)
+		db.cache = qcache.NewWith(qcache.Config{
+			MaxBytes: cfg.cacheBytes,
+			TTL:      cfg.cacheTTL,
+			MinCost:  cfg.cacheMinCost,
+		})
 	}
-	if cfg.loadTPCD {
+	if cfg.loadTPCD && recovered {
+		// The warm start is about to skip the preload, so the directory
+		// must actually hold the database these options describe —
+		// serving an sf 0.001 build to a caller who asked for 0.01
+		// would be silently wrong-scale.
+		if err := checkTPCDStamp(cfg); err != nil {
+			db.eng.Abandon()
+			return nil, err
+		}
+	}
+	if cfg.loadTPCD && !recovered {
 		// BufferFrames is not set: the engine is already sized above;
-		// tpcd.Load fills an existing engine.
+		// tpcd.Load fills an existing engine. A durable bulk load runs
+		// unlogged — per-row WAL records for millions of generated rows
+		// would be pure overhead — and the checkpoint that follows
+		// captures the loaded state in page files and turns logging on.
 		tc := tpcd.Config{
 			SF:      cfg.tpcdSF,
 			Seed:    cfg.seed,
 			Indexes: cfg.indexes,
 		}
+		db.eng.SetLogging(false)
 		if err := tpcd.Load(db.eng, tc); err != nil {
+			db.eng.SetLogging(true)
+			if cfg.dataDir != "" {
+				db.eng.Abandon()
+			}
 			return nil, fmt.Errorf("dsdb: loading TPC-D: %w", err)
+		}
+		if cfg.dataDir != "" {
+			if err := db.eng.Checkpoint(); err != nil {
+				db.eng.Abandon()
+				return nil, fmt.Errorf("dsdb: checkpointing TPC-D load: %w", err)
+			}
+			if err := writeTPCDStamp(cfg); err != nil {
+				db.eng.Abandon()
+				return nil, fmt.Errorf("dsdb: stamping TPC-D build: %w", err)
+			}
+		} else {
+			db.eng.SetLogging(true)
 		}
 	}
 	return db, nil
+}
+
+// tpcdStamp records how a data directory's TPC-D dataset was built,
+// so a warm start can refuse options that describe a different
+// database instead of silently serving the wrong one.
+type tpcdStamp struct {
+	SF      float64 `json:"sf"`
+	Seed    int64   `json:"seed"`
+	Indexes string  `json:"indexes"`
+}
+
+func tpcdStampPath(dir string) string { return filepath.Join(dir, "TPCD.json") }
+
+func writeTPCDStamp(cfg config) error {
+	data, err := json.Marshal(tpcdStamp{SF: cfg.tpcdSF, Seed: cfg.seed, Indexes: cfg.indexes.String()})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(tpcdStampPath(cfg.dataDir), append(data, '\n'), 0o644)
+}
+
+// checkTPCDStamp validates a warm start's WithTPCD options against the
+// directory's build stamp.
+func checkTPCDStamp(cfg config) error {
+	data, err := os.ReadFile(tpcdStampPath(cfg.dataDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("dsdb: data dir %s holds a recovered database with no TPC-D build stamp; open it without WithTPCD or use a fresh directory", cfg.dataDir)
+		}
+		return err
+	}
+	var st tpcdStamp
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dsdb: corrupt TPC-D stamp in %s: %w", cfg.dataDir, err)
+	}
+	if st.SF != cfg.tpcdSF || st.Seed != cfg.seed || st.Indexes != cfg.indexes.String() {
+		return fmt.Errorf("dsdb: data dir %s was built with TPC-D sf=%g seed=%d %s indices; requested sf=%g seed=%d %s — pass matching options or a different directory",
+			cfg.dataDir, st.SF, st.Seed, st.Indexes, cfg.tpcdSF, cfg.seed, cfg.indexes.String())
+	}
+	return nil
 }
 
 // SetTracer attaches (or, with nil, detaches) the instrumentation
@@ -300,9 +432,36 @@ func (db *DB) NumRows(table string) int {
 	return db.eng.NumRows(table)
 }
 
-// Close flushes all dirty pages. The DB is in-memory; Close exists
-// for database/sql symmetry and future durable backends.
-func (db *DB) Close() error { return db.eng.Flush() }
+// WarmStarted reports whether Open found an existing database in its
+// data directory and recovered it (skipping any WithTPCD preload)
+// rather than loading fresh data. Always false without WithDataDir.
+func (db *DB) WarmStarted() bool { return db.recovered }
+
+// Durable reports whether the database persists to a data directory.
+func (db *DB) Durable() bool { return db.eng.Durable() }
+
+// Checkpoint makes the current committed state the recovery base of a
+// durable database: dirty pages are flushed and fsynced into a fresh
+// generation of page files, the catalog manifest is atomically
+// republished, and the write-ahead log is truncated — after it
+// returns, recovery replays nothing. The engine is quiesced for the
+// duration (checkpoints wait for open result sets, like any writer).
+// On a non-durable database it degrades to a flush.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Close shuts the database down. A durable database checkpoints first
+// — so the next Open recovers instantly with an empty log — then
+// releases its files and directory lock; an in-memory database just
+// flushes its dirty pages. Close is idempotent.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Abandon drops a durable database without checkpointing or flushing,
+// leaving the data directory exactly as a crash at this instant would
+// — and releasing the directory lock so it can be reopened. The next
+// Open recovers by replaying the write-ahead log. It is the
+// crash-simulation hook the durability tests are built on; on an
+// in-memory database it simply discards everything.
+func (db *DB) Abandon() { db.eng.Abandon() }
 
 // Engine exposes the underlying kernel engine for the stcpipe
 // pipeline and tests inside this module. External code cannot name

@@ -17,14 +17,20 @@
 // The cache itself is storage-agnostic and engine-agnostic: keys are
 // strings, validation is a callback, and byte accounting is the
 // deterministic EntryBytes model — which is also what the eviction
-// tests pin. dsdb.Open(dsdb.WithResultCache(n)) owns the only instance
-// most programs need; both the in-process and the served query paths
-// share it.
+// tests pin. Two optional policies refine what is kept: an admission
+// threshold (Config.MinCost) refuses results whose first execution was
+// cheaper than the threshold, so sub-millisecond queries cannot evict
+// expensive ones, and a TTL (Config.TTL) expires entries by wall clock
+// for workloads whose answers go stale even when no table changes.
+// dsdb.Open(dsdb.WithResultCache(n)) owns the only instance most
+// programs need; both the in-process and the served query paths share
+// it.
 package qcache
 
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"repro/internal/db/value"
 )
@@ -58,6 +64,13 @@ type Stats struct {
 	// Invalidations counts entries dropped because a referenced
 	// table's epoch moved.
 	Invalidations uint64
+	// Expirations counts entries dropped because they outlived the
+	// configured TTL (each also counted as a miss by the Get that
+	// found it expired).
+	Expirations uint64
+	// AdmissionRejects counts Puts refused by the admission policy:
+	// results whose first execution was cheaper than MinCost.
+	AdmissionRejects uint64
 	// Entries is the current number of cached result sets.
 	Entries int
 	// UsedBytes and MaxBytes are the accounted footprint and the
@@ -75,46 +88,85 @@ func (s Stats) HitRatio() float64 {
 
 // entry is one cached result set plus its LRU hook and accounting.
 type entry struct {
-	key  string
-	fp   Footprint
-	res  *Result
-	size int64
-	elem *list.Element
+	key    string
+	fp     Footprint
+	res    *Result
+	size   int64
+	stored time.Time // fill time, for TTL expiry
+	elem   *list.Element
+}
+
+// Config selects the cache's budget and policies.
+type Config struct {
+	// MaxBytes bounds the accounted result data (see EntryBytes). A
+	// non-positive budget yields a cache that stores nothing but still
+	// counts misses.
+	MaxBytes int64
+	// TTL, when positive, expires entries this long after they were
+	// filled: an expired entry is dropped on first touch and its Get
+	// counts as a miss — for workloads whose answers go stale by wall
+	// clock even though no tracked table changed.
+	TTL time.Duration
+	// MinCost, when positive, is the admission threshold: a result
+	// whose first execution took less than this is not cached at all.
+	// Sub-millisecond queries are cheaper to re-run than the cache
+	// space they would steal from expensive ones.
+	MinCost time.Duration
 }
 
 // Cache is a memory-bounded query result cache, safe for concurrent
 // use.
 type Cache struct {
 	mu      sync.Mutex
-	max     int64
+	cfg     Config
 	used    int64
 	lru     *list.List // front = most recently used; values are *entry
 	entries map[string]*entry
+	now     func() time.Time
 
 	hits, misses, evictions, invalidations uint64
+	expirations, admissionRejects          uint64
 }
 
-// New returns a cache bounded to maxBytes of accounted result data
-// (see EntryBytes). A non-positive budget yields a cache that stores
-// nothing but still counts misses — callers need no nil checks to
-// keep stats coherent.
+// New returns a cache bounded to maxBytes with no TTL and no admission
+// threshold (every result is cacheable).
 func New(maxBytes int64) *Cache {
-	return &Cache{max: maxBytes, lru: list.New(), entries: make(map[string]*entry)}
+	return NewWith(Config{MaxBytes: maxBytes})
+}
+
+// NewWith returns a cache with explicit policies.
+func NewWith(cfg Config) *Cache {
+	return &Cache{cfg: cfg, lru: list.New(), entries: make(map[string]*entry), now: time.Now}
+}
+
+// SetNowFunc replaces the cache's clock — the injectable time source
+// TTL tests and simulations use. Call before concurrent use.
+func (c *Cache) SetNowFunc(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
 }
 
 // MaxBytes returns the configured byte budget.
-func (c *Cache) MaxBytes() int64 { return c.max }
+func (c *Cache) MaxBytes() int64 { return c.cfg.MaxBytes }
 
 // Get returns the cached result for key if one is present and still
-// valid: cur is consulted for every table of the entry's footprint,
-// and the entry is served only if each epoch is unchanged. A stale
-// entry is removed (counted as an invalidation) and reported as a
-// miss. The returned Result is shared — do not mutate it.
+// valid: the entry must be younger than the TTL (when one is set) and
+// cur is consulted for every table of the entry's footprint, serving
+// only if each epoch is unchanged. A stale or expired entry is removed
+// (counted as an invalidation or expiration) and reported as a miss.
+// The returned Result is shared — do not mutate it.
 func (c *Cache) Get(key string, cur func(table string) uint64) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if c.cfg.TTL > 0 && c.now().Sub(e.stored) >= c.cfg.TTL {
+		c.expirations++
+		c.remove(e)
 		c.misses++
 		return nil, false
 	}
@@ -132,20 +184,28 @@ func (c *Cache) Get(key string, cur func(table string) uint64) (*Result, bool) {
 }
 
 // Put inserts (or replaces) the result for key, evicting
-// least-recently-used entries until the budget holds. An entry larger
-// than the whole budget is rejected (returns false) — the cache never
-// overcommits. len(fp.Tables) must equal len(fp.Epochs).
-func (c *Cache) Put(key string, fp Footprint, res *Result) bool {
+// least-recently-used entries until the budget holds. cost is the wall
+// time the filling execution took: under an admission threshold
+// (Config.MinCost), a result cheaper than the threshold is refused
+// before it can evict anything — pass a negative cost to bypass the
+// policy. An entry larger than the whole budget is likewise rejected
+// (returns false): the cache never overcommits. len(fp.Tables) must
+// equal len(fp.Epochs).
+func (c *Cache) Put(key string, fp Footprint, res *Result, cost time.Duration) bool {
 	size := EntryBytes(key, fp, res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if size > c.max {
+	if c.cfg.MinCost > 0 && cost >= 0 && cost < c.cfg.MinCost {
+		c.admissionRejects++
+		return false
+	}
+	if size > c.cfg.MaxBytes {
 		return false
 	}
 	if old, ok := c.entries[key]; ok {
 		c.remove(old)
 	}
-	for c.used+size > c.max {
+	for c.used+size > c.cfg.MaxBytes {
 		back := c.lru.Back()
 		if back == nil {
 			break
@@ -153,7 +213,7 @@ func (c *Cache) Put(key string, fp Footprint, res *Result) bool {
 		c.evictions++
 		c.remove(back.Value.(*entry))
 	}
-	e := &entry{key: key, fp: fp, res: res, size: size}
+	e := &entry{key: key, fp: fp, res: res, size: size, stored: c.now()}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.used += size
@@ -201,13 +261,15 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Entries:       len(c.entries),
-		UsedBytes:     c.used,
-		MaxBytes:      c.max,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		Invalidations:    c.invalidations,
+		Expirations:      c.expirations,
+		AdmissionRejects: c.admissionRejects,
+		Entries:          len(c.entries),
+		UsedBytes:        c.used,
+		MaxBytes:         c.cfg.MaxBytes,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/db/value"
 )
@@ -40,7 +41,7 @@ func TestGetPutHitMiss(t *testing.T) {
 		t.Fatal("empty cache returned a hit")
 	}
 	r := res(5, 4)
-	if !c.Put("q1", fp(epochs, "orders"), r) {
+	if !c.Put("q1", fp(epochs, "orders"), r, -1) {
 		t.Fatal("Put rejected a small entry")
 	}
 	got, ok := c.Get("q1", epochFn(epochs))
@@ -63,7 +64,7 @@ func TestGetPutHitMiss(t *testing.T) {
 func TestEpochInvalidation(t *testing.T) {
 	epochs := map[string]uint64{"orders": 3, "lineitem": 7}
 	c := New(1 << 20)
-	c.Put("q1", fp(epochs, "orders", "lineitem"), res(2, 0))
+	c.Put("q1", fp(epochs, "orders", "lineitem"), res(2, 0), -1)
 	if _, ok := c.Get("q1", epochFn(epochs)); !ok {
 		t.Fatal("fresh entry not served")
 	}
@@ -94,7 +95,7 @@ func TestEvictionPinsByteBudget(t *testing.T) {
 	// entry has identical accounted size).
 	c := New(3 * one)
 	for i := 0; i < 3; i++ {
-		if !c.Put(fmt.Sprintf("k%d", i), f, res(10, 8)) {
+		if !c.Put(fmt.Sprintf("k%d", i), f, res(10, 8), -1) {
 			t.Fatalf("Put k%d rejected", i)
 		}
 	}
@@ -106,7 +107,7 @@ func TestEvictionPinsByteBudget(t *testing.T) {
 	if _, ok := c.Get("k0", epochFn(epochs)); !ok {
 		t.Fatal("k0 missing")
 	}
-	if !c.Put("k3", f, res(10, 8)) {
+	if !c.Put("k3", f, res(10, 8), -1) {
 		t.Fatal("Put k3 rejected")
 	}
 	st = c.Stats()
@@ -131,7 +132,7 @@ func TestOversizedEntryRejected(t *testing.T) {
 	f := fp(epochs, "t")
 	big := res(100, 100)
 	c := New(EntryBytes("k", f, big) - 1)
-	if c.Put("k", f, big) {
+	if c.Put("k", f, big, -1) {
 		t.Fatal("entry larger than the whole budget must be rejected")
 	}
 	if st := c.Stats(); st.Entries != 0 || st.UsedBytes != 0 {
@@ -143,9 +144,9 @@ func TestPutReplaceAdjustsAccounting(t *testing.T) {
 	epochs := map[string]uint64{"t": 1}
 	f := fp(epochs, "t")
 	c := New(1 << 20)
-	c.Put("k", f, res(10, 8))
+	c.Put("k", f, res(10, 8), -1)
 	small := res(1, 0)
-	c.Put("k", f, small)
+	c.Put("k", f, small, -1)
 	st := c.Stats()
 	if st.Entries != 1 || st.UsedBytes != EntryBytes("k", f, small) {
 		t.Fatalf("replace accounting: %+v, want %d bytes", st, EntryBytes("k", f, small))
@@ -159,9 +160,9 @@ func TestPutReplaceAdjustsAccounting(t *testing.T) {
 func TestInvalidateByTable(t *testing.T) {
 	epochs := map[string]uint64{"a": 1, "b": 1}
 	c := New(1 << 20)
-	c.Put("qa", fp(epochs, "a"), res(1, 0))
-	c.Put("qab", fp(epochs, "a", "b"), res(1, 0))
-	c.Put("qb", fp(epochs, "b"), res(1, 0))
+	c.Put("qa", fp(epochs, "a"), res(1, 0), -1)
+	c.Put("qab", fp(epochs, "a", "b"), res(1, 0), -1)
+	c.Put("qb", fp(epochs, "b"), res(1, 0), -1)
 	if n := c.Invalidate("a"); n != 2 {
 		t.Fatalf("Invalidate(a) dropped %d entries, want 2", n)
 	}
@@ -177,7 +178,7 @@ func TestInvalidateByTable(t *testing.T) {
 func TestZeroBudgetStoresNothing(t *testing.T) {
 	epochs := map[string]uint64{"t": 1}
 	c := New(0)
-	if c.Put("k", fp(epochs, "t"), res(1, 0)) {
+	if c.Put("k", fp(epochs, "t"), res(1, 0), -1) {
 		t.Fatal("zero-budget cache accepted an entry")
 	}
 	if _, ok := c.Get("k", epochFn(epochs)); ok {
@@ -209,7 +210,7 @@ func TestConcurrentAccess(t *testing.T) {
 				key := fmt.Sprintf("q%d", (g+i)%13)
 				switch i % 3 {
 				case 0:
-					c.Put(key, f, res(2, 4))
+					c.Put(key, f, res(2, 4), -1)
 				case 1:
 					c.Get(key, cur)
 				default:
@@ -229,5 +230,84 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if st.Entries != c.Len() {
 		t.Fatalf("entry count mismatch: %+v vs %d", st, c.Len())
+	}
+}
+
+// TestAdmissionPolicyCheapNeverEvictsExpensive pins the admission
+// guarantee: with a MinCost threshold, results cheaper than the
+// threshold are refused outright, so a stream of cheap queries can
+// never push an expensive entry out of a full cache.
+func TestAdmissionPolicyCheapNeverEvictsExpensive(t *testing.T) {
+	epochs := map[string]uint64{"t": 1}
+	f := fp(epochs, "t")
+	one := EntryBytes("e0", f, res(10, 8))
+	c := NewWith(Config{MaxBytes: 2 * one, MinCost: time.Millisecond})
+	// Two expensive entries fill the budget exactly.
+	for i := 0; i < 2; i++ {
+		if !c.Put(fmt.Sprintf("e%d", i), f, res(10, 8), 5*time.Millisecond) {
+			t.Fatalf("expensive e%d rejected", i)
+		}
+	}
+	// A barrage of sub-threshold fills: every one refused, nothing
+	// evicted, both expensive entries still served.
+	for i := 0; i < 50; i++ {
+		if c.Put(fmt.Sprintf("cheap%d", i), f, res(10, 8), 100*time.Microsecond) {
+			t.Fatalf("cheap%d admitted below the threshold", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("cheap fills evicted %d entries", st.Evictions)
+	}
+	if st.AdmissionRejects != 50 {
+		t.Fatalf("AdmissionRejects = %d, want 50", st.AdmissionRejects)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("e%d", i), epochFn(epochs)); !ok {
+			t.Fatalf("expensive e%d gone after cheap traffic", i)
+		}
+	}
+	// At or above the threshold, admission proceeds (and may evict).
+	if !c.Put("borderline", f, res(10, 8), time.Millisecond) {
+		t.Fatal("cost == MinCost must be admitted")
+	}
+	// A negative cost bypasses the policy (internal refills).
+	if !c.Put("bypass", f, res(10, 8), -1) {
+		t.Fatal("negative cost must bypass admission")
+	}
+}
+
+// TestTTLExpiryCountsAsMiss drives expiry with an injected clock.
+func TestTTLExpiryCountsAsMiss(t *testing.T) {
+	epochs := map[string]uint64{"t": 1}
+	f := fp(epochs, "t")
+	base := time.Unix(1_000_000, 0)
+	now := base
+	c := NewWith(Config{MaxBytes: 1 << 20, TTL: time.Minute})
+	c.SetNowFunc(func() time.Time { return now })
+	if !c.Put("k", f, res(3, 2), -1) {
+		t.Fatal("Put rejected")
+	}
+	// Just inside the TTL: a hit.
+	now = base.Add(time.Minute - time.Nanosecond)
+	if _, ok := c.Get("k", epochFn(epochs)); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	// At the TTL boundary: expired, dropped, counted as a miss.
+	now = base.Add(time.Minute)
+	if _, ok := c.Get("k", epochFn(epochs)); ok {
+		t.Fatal("entry served at/after its TTL")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Misses != 1 || st.Hits != 1 || st.Entries != 0 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	// A refill restarts the clock from the new store time.
+	if !c.Put("k", f, res(3, 2), -1) {
+		t.Fatal("refill rejected")
+	}
+	now = now.Add(30 * time.Second)
+	if _, ok := c.Get("k", epochFn(epochs)); !ok {
+		t.Fatal("refilled entry expired early")
 	}
 }

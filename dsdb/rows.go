@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/dsdb/qcache"
 	"repro/internal/db/executor"
@@ -144,10 +145,14 @@ func (s *Stmt) execQuery(ctx context.Context, consultCache bool) (*Rows, error) 
 		fill = &cacheFill{cache: c, key: s.cacheKey, fp: fp, limit: c.MaxBytes() - fixed}
 	}
 	s.c.Interrupt = ctx.Err
+	openStart := time.Now()
 	if err := s.plan.Open(); err != nil {
 		s.plan.Close()
 		s.release()
 		return nil, err
+	}
+	if fill != nil {
+		fill.cost = time.Since(openStart)
 	}
 	return &Rows{stmt: s, ctx: ctx, cols: s.cols, fill: fill}, nil
 }
@@ -162,6 +167,13 @@ type cacheFill struct {
 	size  int64
 	limit int64 // accumulation stops (and the fill is abandoned) past this
 	dead  bool
+
+	// cost accumulates the wall time spent inside the executor — plan
+	// Open plus every Next — and nothing else. Consumer think time and
+	// network backpressure between pulls stay out, so the admission
+	// policy judges what a re-execution would actually cost, not how
+	// slowly a client drained the stream.
+	cost time.Duration
 }
 
 // add copies one produced tuple into the pending entry, abandoning
@@ -183,7 +195,9 @@ func (f *cacheFill) add(tup []Value) {
 
 // commit publishes the accumulated result. Called with the filling
 // execution's engine latch still held, so no writer can have bumped
-// an epoch since the snapshot.
+// an epoch since the snapshot. The accumulated executor time is the
+// cost the admission policy judges: a sub-threshold (cheap) first
+// execution is not worth caching.
 func (f *cacheFill) commit(cols []string) {
 	if f.dead {
 		return
@@ -191,7 +205,7 @@ func (f *cacheFill) commit(cols []string) {
 	f.cache.Put(f.key, f.fp, &qcache.Result{
 		Columns: append([]string(nil), cols...),
 		Rows:    f.rows,
-	})
+	}, f.cost)
 }
 
 // release detaches the statement from a finished execution and drops
@@ -281,7 +295,14 @@ func (r *Rows) Next() bool {
 		r.cidx++
 		return true
 	}
+	var pullStart time.Time
+	if r.fill != nil {
+		pullStart = time.Now()
+	}
 	tup, ok, err := r.stmt.plan.Next()
+	if r.fill != nil {
+		r.fill.cost += time.Since(pullStart)
+	}
 	if err != nil {
 		r.err = err
 		r.close()

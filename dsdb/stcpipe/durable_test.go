@@ -1,0 +1,65 @@
+package stcpipe_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/dsdb"
+	"repro/dsdb/stcpipe"
+)
+
+// TestProfileOverWarmStartedDB pins that the instrumentation pipeline
+// is oblivious to how the database came to be: a profile recorded over
+// a warm-started (recovered-from-disk) database is identical to one
+// recorded over a cold TPC-D load. Both pools are pre-warmed with one
+// untraced round first, so the traces compare all-hit to all-hit.
+func TestProfileOverWarmStartedDB(t *testing.T) {
+	const sf = 0.0005
+	dir := filepath.Join(t.TempDir(), "db")
+
+	build := mustOpen(t, dsdb.WithTPCD(sf), dsdb.WithDataDir(dir))
+	if err := build.Close(); err != nil {
+		t.Fatal(err)
+	}
+	warm := mustOpen(t, dsdb.WithDataDir(dir))
+	defer warm.Close()
+	if !warm.WarmStarted() {
+		t.Fatal("data dir did not warm-start")
+	}
+	cold := mustOpen(t, dsdb.WithTPCD(sf))
+	defer cold.Close()
+
+	w := stcpipe.Training()
+	pipe := stcpipe.New(stcpipe.Validate())
+	profiles := make([]*stcpipe.Profile, 2)
+	for i, db := range []*dsdb.DB{cold, warm} {
+		for _, q := range w.Queries {
+			if _, err := db.Exec(context.Background(), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := pipe.Profile(db, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[i] = p
+	}
+	if profiles[0].Events() != profiles[1].Events() {
+		t.Fatalf("event counts diverge: cold %d, warm %d",
+			profiles[0].Events(), profiles[1].Events())
+	}
+	if profiles[0].Instrs() != profiles[1].Instrs() {
+		t.Fatalf("instruction counts diverge: cold %d, warm %d",
+			profiles[0].Instrs(), profiles[1].Instrs())
+	}
+}
+
+func mustOpen(t *testing.T, opts ...dsdb.Option) *dsdb.DB {
+	t.Helper()
+	db, err := dsdb.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

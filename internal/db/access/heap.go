@@ -40,11 +40,31 @@ func (h *Heap) File() int { return h.file }
 // NumPages returns the current heap length in pages.
 func (h *Heap) NumPages() int { return h.buf.NumPages(h.file) }
 
+// MaxTupleBytes bounds one encoded tuple (a quarter page), so any
+// page can always hold several tuples.
+const MaxTupleBytes = storage.PageBytes / 4
+
+// CheckTupleSize validates an encoded tuple against MaxTupleBytes —
+// exported so callers that must validate before committing to the
+// insert (the engine's write-ahead log) apply exactly the heap's rule.
+func CheckTupleSize(data []byte) error {
+	if len(data) > MaxTupleBytes {
+		return fmt.Errorf("access: tuple too large (%d bytes)", len(data))
+	}
+	return nil
+}
+
 // Insert appends a tuple and returns its TID. Loads run untraced.
 func (h *Heap) Insert(vals []value.Value, scratch []byte) (storage.TID, error) {
-	data := storage.EncodeTuple(vals, scratch)
-	if len(data) > storage.PageBytes/4 {
-		return storage.TID{}, fmt.Errorf("access: tuple too large (%d bytes)", len(data))
+	return h.InsertTuple(storage.EncodeTuple(vals, scratch))
+}
+
+// InsertTuple appends an already-encoded tuple — the path the durable
+// engine uses so the bytes it journals are the bytes the heap stores,
+// encoded exactly once.
+func (h *Heap) InsertTuple(data []byte) (storage.TID, error) {
+	if err := CheckTupleSize(data); err != nil {
+		return storage.TID{}, err
 	}
 	n := h.buf.NumPages(h.file)
 	if n > 0 {

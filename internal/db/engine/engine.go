@@ -15,7 +15,9 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/db/access"
 	"repro/internal/db/buffer"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/db/probe"
 	"repro/internal/db/storage"
 	"repro/internal/db/value"
+	"repro/internal/db/wal"
 )
 
 // rwLatch is the engine latch: a reader-preferring reader/writer
@@ -101,6 +104,26 @@ type DB struct {
 	// table's epoch is unchanged. Like the other maps, epochs is
 	// written under the exclusive latch and read under the shared one.
 	epochs map[string]uint64
+
+	// Durable-mode state (see durable.go; zero in memory mode).
+	// logging gates both the logical write-ahead records appended by
+	// Insert/DDL and the page-image spills from the disk store — off
+	// during recovery replay, bulk loads and checkpoints.
+	durable bool
+	dir     string
+	wal     *wal.Writer
+	logging atomic.Bool
+	gen     uint64
+	lock    *os.File
+	closeMu sync.Mutex
+	closed  bool
+
+	// failed poisons the engine after a checkpoint failure past the
+	// point of no return (manifest published, promote or log truncation
+	// failed): every further write returns it, because appended records
+	// would land in segments recovery no longer reads. Written and read
+	// under the exclusive latch.
+	failed error
 }
 
 // Open creates an empty database with a buffer pool of the given
@@ -131,10 +154,24 @@ func (db *DB) BeginRead() func() {
 	return db.latch.runlock
 }
 
-// CreateTable registers a table and its heap file.
+// CreateTable registers a table and its heap file. In durable mode
+// the statement is logged before the catalog mutates.
 func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, error) {
 	db.latch.lock()
 	defer db.latch.unlock()
+	if db.failed != nil {
+		return nil, db.failed
+	}
+	if _, dup := db.Cat.Table(name); dup {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	cols := make([]wal.Column, schema.Len())
+	for i, c := range schema.Columns {
+		cols[i] = wal.Column{Name: c.Name, Type: uint8(c.Type)}
+	}
+	if err := db.logRecord(wal.CreateTable{Name: name, Cols: cols}); err != nil {
+		return nil, err
+	}
 	t, err := db.Cat.AddTable(name, schema)
 	if err != nil {
 		return nil, err
@@ -151,9 +188,29 @@ func (db *DB) CreateTable(name string, schema *catalog.Schema) (*catalog.Table, 
 func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique bool) error {
 	db.latch.lock()
 	defer db.latch.unlock()
+	if db.failed != nil {
+		return db.failed
+	}
+	// Validate what the write-ahead record must not capture: a logged
+	// DDL statement is replayed verbatim on recovery, so it has to be
+	// one that succeeds.
+	t, ok := db.Cat.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", table)
+	}
+	if t.Schema.ColIndex(column) < 0 {
+		return fmt.Errorf("catalog: no column %q in %q", column, table)
+	}
+	if ct := t.Schema.Columns[t.Schema.ColIndex(column)].Type; ct != value.Int && ct != value.Date {
+		return fmt.Errorf("engine: index on %s.%s: only integer/date keys supported (column is %s)", table, column, ct)
+	}
+	logged := db.durable && db.logging.Load()
+	if err := db.logRecord(wal.CreateIndex{Table: table, Column: column, Kind: uint8(kind), Unique: unique}); err != nil {
+		return err
+	}
 	ix, err := db.Cat.AddIndex(table, column, kind, unique)
 	if err != nil {
-		return err
+		return db.writeFailed(logged, err)
 	}
 	db.epochs[table]++
 	db.Store.EnsureFiles(db.Cat.NumFiles())
@@ -161,14 +218,14 @@ func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique b
 	case catalog.BTree:
 		bt, err := access.CreateBTree(db.Buf, ix.FileID)
 		if err != nil {
-			return err
+			return db.writeFailed(logged, err)
 		}
 		db.btrees[ix.Name] = bt
 	case catalog.Hash:
 		buckets := db.rows[table]/200 + 4
 		hx, err := access.CreateHashIndex(db.Buf, ix.FileID, buckets)
 		if err != nil {
-			return err
+			return db.writeFailed(logged, err)
 		}
 		db.hashes[ix.Name] = hx
 	}
@@ -178,13 +235,13 @@ func (db *DB) CreateIndex(table, column string, kind catalog.IndexKind, unique b
 	for {
 		vals, tid, ok, err := scan.Next(nil, nil)
 		if err != nil {
-			return err
+			return db.writeFailed(logged, err)
 		}
 		if !ok {
 			break
 		}
 		if err := db.indexInsertOne(ix, vals, tid); err != nil {
-			return err
+			return db.writeFailed(logged, err)
 		}
 	}
 	return nil
@@ -205,10 +262,17 @@ func (db *DB) indexInsertOne(ix *catalog.Index, vals []value.Value, tid storage.
 
 // Insert appends a row to a table, maintaining its indices. The
 // engine latch is held exclusively, so the heap append and every
-// index insert land atomically with respect to running queries.
+// index insert land atomically with respect to running queries. All
+// validation — arity, tuple size, index key types — happens before
+// anything mutates: a row either lands in full (heap and every index)
+// or not at all, which is also what lets durable mode journal the row
+// up front and replay the record unconditionally on recovery.
 func (db *DB) Insert(table string, row []value.Value) error {
 	db.latch.lock()
 	defer db.latch.unlock()
+	if db.failed != nil {
+		return db.failed
+	}
 	t, ok := db.Cat.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
@@ -216,22 +280,60 @@ func (db *DB) Insert(table string, row []value.Value) error {
 	if len(row) != t.Schema.Len() {
 		return fmt.Errorf("engine: %s: got %d values, want %d", table, len(row), t.Schema.Len())
 	}
-	tid, err := db.heaps[table].Insert(row, nil)
+	for _, ix := range t.Indexes {
+		if key := row[ix.Col]; key.T != value.Int && key.T != value.Date {
+			return fmt.Errorf("engine: index %s: only integer/date keys supported", ix.Name)
+		}
+	}
+	var tid storage.TID
+	var err error
+	logged := false
+	if db.durable && db.logging.Load() {
+		// Log-then-apply, encoding exactly once: the journaled bytes
+		// are the bytes the heap stores. Unlogged paths (memory mode,
+		// bulk loads, replay) let the heap encode for itself.
+		data := storage.EncodeTuple(row, nil)
+		if err := access.CheckTupleSize(data); err != nil {
+			return err
+		}
+		if err := db.wal.Append(wal.Insert{Table: table, Tuple: data}); err != nil {
+			return err
+		}
+		logged = true
+		tid, err = db.heaps[table].InsertTuple(data)
+	} else {
+		tid, err = db.heaps[table].Insert(row, nil)
+	}
 	if err != nil {
-		return err
+		return db.writeFailed(logged, err)
 	}
 	// The heap has mutated: bump the epoch now, not after index
-	// maintenance — a failed index insert still leaves the new row
-	// visible to sequential scans, and a cached result that misses it
-	// must not keep validating.
+	// maintenance, so even an index IO failure cannot leave a cached
+	// result validating against a heap it no longer matches.
 	db.epochs[table]++
 	for _, ix := range t.Indexes {
 		if err := db.indexInsertOne(ix, row, tid); err != nil {
-			return err
+			return db.writeFailed(logged, err)
 		}
 	}
 	db.rows[table]++
 	return nil
+}
+
+// writeFailed handles an apply failure, possibly after the operation's
+// WAL record was already committed. Validation rejects everything a
+// record could deterministically fail on before it is appended, so a
+// post-append failure is environmental (I/O, pool exhaustion) — the
+// logged operation WILL be applied by recovery, diverging from what
+// this process told its caller. Poison the engine so the divergence
+// cannot compound: further writes fail until the directory is
+// reopened, and reopening applies the record cleanly. The caller holds
+// the exclusive latch.
+func (db *DB) writeFailed(logged bool, err error) error {
+	if logged && db.failed == nil {
+		db.failed = fmt.Errorf("engine: write failed after its WAL record was committed (reopen the data directory to recover): %w", err)
+	}
+	return err
 }
 
 // NumRows returns the loaded cardinality of a table. Like the other

@@ -49,14 +49,21 @@ func TestTableEpochs(t *testing.T) {
 	if got := epoch("a"); got != ea+4 {
 		t.Fatalf("epoch(a) = %d after CreateIndex, want %d", got, ea+4)
 	}
-	// A partially failed Insert — heap append succeeded, index
-	// maintenance rejected the key — still mutated the table, so the
-	// epoch must move: the new row is visible to sequential scans and
-	// cached results over the old heap must stop validating.
+	// A rejected Insert — the key type fails validation before anything
+	// mutates — must leave the table untouched: no heap append, no
+	// epoch movement, so cached results keep validating. (Inserts are
+	// all-or-nothing since the durability work: the row is journaled
+	// before it lands, so it must be validated before it is journaled.)
 	if err := db.Insert("a", []value.Value{value.NewFloat(1.5)}); err == nil {
-		t.Fatal("float key on an int index should fail index maintenance")
+		t.Fatal("float key on an int index should be rejected")
 	}
-	if got := epoch("a"); got != ea+5 {
-		t.Fatalf("epoch(a) = %d after failed-index Insert, want %d (heap mutated without invalidation)", got, ea+5)
+	if got := epoch("a"); got != ea+4 {
+		t.Fatalf("epoch(a) = %d after rejected Insert, want %d (nothing mutated)", got, ea+4)
+	}
+	release := db.BeginRead()
+	rows := db.NumRows("a")
+	release()
+	if rows != 3 {
+		t.Fatalf("NumRows(a) = %d after rejected Insert, want 3", rows)
 	}
 }

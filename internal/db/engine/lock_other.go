@@ -1,0 +1,11 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// lockDir on platforms without flock creates the lock file but offers
+// no mutual exclusion; the single-process discipline is by convention.
+func lockDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

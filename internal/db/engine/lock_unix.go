@@ -1,0 +1,24 @@
+//go:build unix
+
+package engine
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on path, guarding a data
+// directory against a second concurrent process. The lock is released
+// when the returned file closes (or the process exits).
+func lockDir(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: data directory is locked by another process: %w", err)
+	}
+	return f, nil
+}

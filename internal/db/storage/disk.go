@@ -1,0 +1,342 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk-backed mode. The store's page files live under a data
+// directory, organized as immutable checkpoint generations:
+//
+//	<dir>/gen-000001/f000000.pg   page file 0 of generation 1
+//	<dir>/gen-000001/f000003.pg   ...
+//
+// The files of the current generation are the base: they hold every
+// page exactly as it was at the last checkpoint, are opened read-only,
+// and are never modified in place. Pages written or allocated since
+// the checkpoint live in an in-memory overlay keyed by (file, page);
+// reads consult the overlay first and fall back to a positional read
+// of the base file. A checkpoint writes the merged state as a brand-new
+// generation (hard-linking files with no changes), fsyncs it, and —
+// after the caller has durably published a manifest naming it —
+// promotes it to base and deletes the old generation. A crash at any
+// point therefore leaves either the old complete generation or the new
+// complete generation, never a half-written mix.
+//
+// The overlay is also where the write-ahead log hooks in: a spill
+// callback (SetSpill) observes every page write between checkpoints,
+// so the engine can journal evicted dirty pages as full page images.
+
+// pageKey addresses one page of one file.
+type pageKey struct{ file, page int }
+
+// diskStore is the disk half of Store.
+type diskStore struct {
+	dir       string
+	gen       uint64
+	base      []*os.File // per file ID; nil = no base file (empty at checkpoint)
+	basePages []int      // page count of each base file
+	pages     []int      // current logical page count (base + growth)
+	overlay   map[pageKey]Page
+	spill     func(file, page int, data []byte) error
+}
+
+// genDirName returns the directory of generation gen.
+func genDirName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("gen-%06d", gen))
+}
+
+// pageFileName returns the page file of file id within a generation
+// directory.
+func pageFileName(genDir string, file int) string {
+	return filepath.Join(genDir, fmt.Sprintf("f%06d.pg", file))
+}
+
+// OpenDiskStore opens a disk-backed store rooted at dir over
+// checkpoint generation gen with nfiles page files. Generation 0 means
+// no checkpoint has happened yet: every file starts empty. Base files
+// absent from the generation directory are empty files; a base file
+// whose size is not a whole number of pages is corruption (generations
+// are fsynced before their manifest is published).
+func OpenDiskStore(dir string, gen uint64, nfiles int) (*Store, error) {
+	d := &diskStore{
+		dir:     dir,
+		gen:     gen,
+		overlay: make(map[pageKey]Page),
+	}
+	s := &Store{disk: d}
+	if err := d.ensure(nfiles); err != nil {
+		return nil, err
+	}
+	if gen == 0 {
+		return s, nil
+	}
+	genDir := genDirName(dir, gen)
+	for id := 0; id < nfiles; id++ {
+		f, err := os.Open(pageFileName(genDir, id))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if st.Size()%PageBytes != 0 {
+			f.Close()
+			return nil, fmt.Errorf("storage: page file %s has partial page (%d bytes)", f.Name(), st.Size())
+		}
+		d.base[id] = f
+		d.basePages[id] = int(st.Size() / PageBytes)
+		d.pages[id] = d.basePages[id]
+	}
+	return s, nil
+}
+
+// ensure grows the per-file bookkeeping to n files.
+func (d *diskStore) ensure(n int) error {
+	for len(d.pages) < n {
+		d.base = append(d.base, nil)
+		d.basePages = append(d.basePages, 0)
+		d.pages = append(d.pages, 0)
+	}
+	return nil
+}
+
+// SetSpill installs the page-write observer called (under the store
+// lock) for every WritePage in disk mode — the engine's hook for
+// journaling evicted dirty pages to the write-ahead log. A nil
+// observer disables spilling. Install before concurrent use.
+func (s *Store) SetSpill(fn func(file, page int, data []byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk.spill = fn
+}
+
+// DiskBacked reports whether the store persists pages under a data
+// directory.
+func (s *Store) DiskBacked() bool { return s.disk != nil }
+
+// Generation returns the current checkpoint generation (disk mode).
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.disk.gen
+}
+
+func (d *diskStore) readPage(file, page int, dst Page) error {
+	if file < 0 || file >= len(d.pages) || page < 0 || page >= d.pages[file] {
+		return fmt.Errorf("storage: read beyond file %d page %d", file, page)
+	}
+	if p, ok := d.overlay[pageKey{file, page}]; ok {
+		copy(dst, p)
+		return nil
+	}
+	if page >= d.basePages[file] || d.base[file] == nil {
+		return fmt.Errorf("storage: file %d page %d missing from base and overlay", file, page)
+	}
+	_, err := d.base[file].ReadAt(dst[:PageBytes], int64(page)*PageBytes)
+	return err
+}
+
+// writePage installs src into the overlay; spill (when set and enabled
+// by the caller's flag) journals the image.
+func (d *diskStore) writePage(file, page int, src Page) error {
+	if file < 0 || file >= len(d.pages) || page < 0 || page >= d.pages[file] {
+		return fmt.Errorf("storage: write beyond file %d page %d", file, page)
+	}
+	k := pageKey{file, page}
+	p, ok := d.overlay[k]
+	if !ok {
+		p = make(Page, PageBytes)
+		d.overlay[k] = p
+	}
+	copy(p, src)
+	if d.spill != nil {
+		return d.spill(file, page, p)
+	}
+	return nil
+}
+
+// InstallRecovered overwrites one page with a logged image during
+// write-ahead-log replay: exactly writePage without the spill hook
+// (replay must not re-journal what it reads from the journal).
+func (s *Store) InstallRecovered(file, page int, data []byte) error {
+	if len(data) != PageBytes {
+		return fmt.Errorf("storage: recovered page image is %d bytes, want %d", len(data), PageBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.disk
+	if file < 0 || file >= len(d.pages) || page < 0 || page >= d.pages[file] {
+		return fmt.Errorf("storage: recovered page beyond file %d page %d", file, page)
+	}
+	k := pageKey{file, page}
+	p, ok := d.overlay[k]
+	if !ok {
+		p = make(Page, PageBytes)
+		d.overlay[k] = p
+	}
+	copy(p, data)
+	return nil
+}
+
+// WriteGeneration materializes the store's current state as generation
+// gen on disk: one page file per non-empty file, each either written
+// page by page (base + overlay merged) or hard-linked from the current
+// base when nothing in the file changed. Every written file and the
+// generation directory are fsynced. The base and overlay are left
+// untouched — call PromoteGeneration after the new generation has been
+// durably named by a manifest.
+func (s *Store) WriteGeneration(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.disk
+	genDir := genDirName(d.dir, gen)
+	// A leftover directory from a checkpoint that crashed before its
+	// manifest landed is garbage; rebuild from scratch.
+	if err := os.RemoveAll(genDir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(genDir, 0o755); err != nil {
+		return err
+	}
+	changed := make(map[int]bool)
+	for k := range d.overlay {
+		changed[k.file] = true
+	}
+	buf := make(Page, PageBytes)
+	for id := range d.pages {
+		n := d.pages[id]
+		if n == 0 {
+			continue
+		}
+		dst := pageFileName(genDir, id)
+		if !changed[id] && n == d.basePages[id] && d.base[id] != nil {
+			if err := os.Link(d.base[id].Name(), dst); err == nil {
+				continue
+			}
+			// Cross-device or filesystem without hard links: fall
+			// through to a full copy.
+		}
+		f, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < n; p++ {
+			if err := d.readPage(id, p, buf); err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return SyncDir(genDir)
+}
+
+// PromoteGeneration switches the store's base to generation gen
+// (previously written by WriteGeneration and named by a durable
+// manifest), drops the overlay, and deletes every other generation
+// directory. The new generation's files are all opened before any old
+// handle is released: a failure mid-way leaves the store exactly as it
+// was, still serving reads from the old base.
+func (s *Store) PromoteGeneration(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.disk
+	genDir := genDirName(d.dir, gen)
+	newBase := make([]*os.File, len(d.pages))
+	for id := range d.pages {
+		if d.pages[id] == 0 {
+			continue
+		}
+		f, err := os.Open(pageFileName(genDir, id))
+		if err != nil {
+			for _, nf := range newBase {
+				if nf != nil {
+					nf.Close()
+				}
+			}
+			return err
+		}
+		newBase[id] = f
+	}
+	for id := range d.pages {
+		if d.base[id] != nil {
+			d.base[id].Close()
+		}
+		d.base[id] = newBase[id]
+		d.basePages[id] = d.pages[id]
+	}
+	d.overlay = make(map[pageKey]Page)
+	d.gen = gen
+	return RemoveStaleGenerations(d.dir, gen)
+}
+
+// RemoveStaleGenerations deletes every generation directory under dir
+// except keep — cleanup for checkpoints and for recovery after a crash
+// that left a half-written or superseded generation behind.
+func RemoveStaleGenerations(dir string, keep uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "gen-") {
+			continue
+		}
+		if keep > 0 && e.Name() == filepath.Base(genDirName(dir, keep)) {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the disk store's file handles (no-op in memory mode).
+func (s *Store) Close() error {
+	if s.disk == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.disk.base {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.disk.base[id] = nil
+		}
+	}
+	return first
+}
+
+// SyncDir fsyncs a directory, making the creates and renames inside
+// it durable. Shared by the storage and engine durability paths (the
+// wal package carries its own copy to stay dependency-free).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillPage returns a page whose tuples carry a recognizable pattern.
+func fillPage(t *testing.T, marker byte) Page {
+	t.Helper()
+	p := NewPage()
+	if _, ok := p.AddTuple(bytes.Repeat([]byte{marker}, 32)); !ok {
+		t.Fatal("tuple does not fit an empty page")
+	}
+	return p
+}
+
+// TestDiskStoreMatchesMemoryStore drives the same operation sequence
+// through both modes and checks every page reads back identically.
+func TestDiskStoreMatchesMemoryStore(t *testing.T) {
+	mem := NewStore(0)
+	dsk, err := OpenDiskStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Store{mem, dsk} {
+		s.EnsureFiles(3)
+		for f := 0; f < 3; f++ {
+			for p := 0; p < 4; p++ {
+				if _, err := s.AllocPage(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for f := 0; f < 3; f++ {
+			for p := 0; p < 4; p++ {
+				if err := s.WritePage(f, p, fillPage(t, byte(16*f+p))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	a, b := NewPage(), NewPage()
+	for f := 0; f < 3; f++ {
+		if mem.NumPages(f) != dsk.NumPages(f) {
+			t.Fatalf("file %d: %d vs %d pages", f, mem.NumPages(f), dsk.NumPages(f))
+		}
+		for p := 0; p < 4; p++ {
+			if err := mem.ReadPage(f, p, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := dsk.ReadPage(f, p, b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("file %d page %d differs between modes", f, p)
+			}
+		}
+	}
+}
+
+// TestDiskStoreCheckpointAndReopen writes, checkpoints, mutates some
+// pages, checkpoints again, and reopens from each generation.
+func TestDiskStoreCheckpointAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnsureFiles(2)
+	for f := 0; f < 2; f++ {
+		for p := 0; p < 3; p++ {
+			if _, err := s.AllocPage(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WritePage(f, p, fillPage(t, byte(1+16*f+p))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.WriteGeneration(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PromoteGeneration(1); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+
+	// Mutate one page and extend file 1, then checkpoint again. File 0
+	// is untouched, so generation 2 should hard-link its page file.
+	if err := s.WritePage(1, 0, fillPage(t, 0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocPage(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(1, 3, fillPage(t, 0xEF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteGeneration(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PromoteGeneration(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Old generation directory is gone.
+	if _, err := os.Stat(filepath.Join(dir, "gen-000001")); !os.IsNotExist(err) {
+		t.Fatalf("stale generation not removed: %v", err)
+	}
+
+	re, err := OpenDiskStore(dir, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages(0) != 3 || re.NumPages(1) != 4 {
+		t.Fatalf("reopened page counts: %d, %d", re.NumPages(0), re.NumPages(1))
+	}
+	got, want := NewPage(), fillPage(t, 0xEE)
+	if err := re.ReadPage(1, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mutated page not persisted across reopen")
+	}
+	if err := re.ReadPage(0, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fillPage(t, 1+1)) {
+		t.Fatal("untouched page corrupted across reopen")
+	}
+}
+
+// TestDiskStoreSpillHook pins that every post-checkpoint WritePage is
+// observed by the spill hook with the exact page image, and that
+// InstallRecovered bypasses it.
+func TestDiskStoreSpillHook(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	type spill struct {
+		file, page int
+		data       []byte
+	}
+	var got []spill
+	s.SetSpill(func(file, page int, data []byte) error {
+		got = append(got, spill{file, page, append([]byte(nil), data...)})
+		return nil
+	})
+	s.EnsureFiles(1)
+	if _, err := s.AllocPage(0); err != nil {
+		t.Fatal(err)
+	}
+	img := fillPage(t, 0x77)
+	if err := s.WritePage(0, 0, img); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].file != 0 || got[0].page != 0 || !bytes.Equal(got[0].data, img) {
+		t.Fatalf("spill observed %d writes, want the one image", len(got))
+	}
+	if err := s.InstallRecovered(0, 0, fillPage(t, 0x78)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("InstallRecovered must not spill")
+	}
+	back := NewPage()
+	if err := s.ReadPage(0, 0, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, fillPage(t, 0x78)) {
+		t.Fatal("InstallRecovered image not visible to reads")
+	}
+}

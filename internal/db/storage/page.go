@@ -1,9 +1,12 @@
 // Package storage implements the storage manager of the database
 // kernel (the lowest module in the paper's Figure 1): fixed-size
-// slotted pages, tuple serialization, and page files. Files live in
-// memory — the substitution for the paper's Digital Unix filesystem —
-// but are only reachable through page reads and writes issued by the
-// buffer manager, preserving the access-path structure of the kernel.
+// slotted pages, tuple serialization, and page files. Files live
+// either in memory (NewStore) or on disk under a data directory of
+// immutable checkpoint generations (OpenDiskStore) — the latter
+// standing in for the paper's Digital Unix filesystem. In both modes
+// pages are only reachable through page reads and writes issued by
+// the buffer manager, preserving the access-path structure of the
+// kernel.
 package storage
 
 import (

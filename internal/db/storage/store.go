@@ -13,9 +13,18 @@ import (
 // paper's Figure 1. All methods are safe for concurrent use: page and
 // file-table access is guarded by one reader/writer lock, matching a
 // disk controller serving requests from many backends.
+//
+// A store runs in one of two modes, chosen at construction and
+// identical through this interface. NewStore keeps every page in
+// memory (the original substitution for the paper's Digital Unix
+// filesystem). OpenDiskStore persists pages under a data directory as
+// immutable checkpoint generations plus an in-memory overlay of
+// post-checkpoint writes — see disk.go — which is what the durability
+// subsystem builds on.
 type Store struct {
 	mu    sync.RWMutex
 	files [][]Page
+	disk  *diskStore // non-nil in disk-backed mode
 	reads atomic.Uint64
 }
 
@@ -28,6 +37,10 @@ func NewStore(n int) *Store {
 func (s *Store) EnsureFiles(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.disk != nil {
+		s.disk.ensure(n)
+		return
+	}
 	for len(s.files) < n {
 		s.files = append(s.files, nil)
 	}
@@ -37,6 +50,9 @@ func (s *Store) EnsureFiles(n int) {
 func (s *Store) NumFiles() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.disk != nil {
+		return len(s.disk.pages)
+	}
 	return len(s.files)
 }
 
@@ -44,6 +60,12 @@ func (s *Store) NumFiles() int {
 func (s *Store) NumPages(file int) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.disk != nil {
+		if file < 0 || file >= len(s.disk.pages) {
+			return 0
+		}
+		return s.disk.pages[file]
+	}
 	if file < 0 || file >= len(s.files) {
 		return 0
 	}
@@ -54,6 +76,16 @@ func (s *Store) NumPages(file int) int {
 func (s *Store) AllocPage(file int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.disk != nil {
+		d := s.disk
+		if file < 0 || file >= len(d.pages) {
+			return 0, fmt.Errorf("storage: no file %d", file)
+		}
+		page := d.pages[file]
+		d.overlay[pageKey{file, page}] = NewPage()
+		d.pages[file]++
+		return page, nil
+	}
 	if file < 0 || file >= len(s.files) {
 		return 0, fmt.Errorf("storage: no file %d", file)
 	}
@@ -65,6 +97,13 @@ func (s *Store) AllocPage(file int) (int, error) {
 func (s *Store) ReadPage(file, page int, dst Page) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.disk != nil {
+		if err := s.disk.readPage(file, page, dst); err != nil {
+			return err
+		}
+		s.reads.Add(1)
+		return nil
+	}
 	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
 		return fmt.Errorf("storage: read beyond file %d page %d", file, page)
 	}
@@ -77,6 +116,9 @@ func (s *Store) ReadPage(file, page int, dst Page) error {
 func (s *Store) WritePage(file, page int, src Page) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.disk != nil {
+		return s.disk.writePage(file, page, src)
+	}
 	if file < 0 || file >= len(s.files) || page < 0 || page >= len(s.files[file]) {
 		return fmt.Errorf("storage: write beyond file %d page %d", file, page)
 	}
