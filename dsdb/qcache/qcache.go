@@ -157,30 +157,53 @@ func (c *Cache) MaxBytes() int64 { return c.cfg.MaxBytes }
 // (counted as an invalidation or expiration) and reported as a miss.
 // The returned Result is shared — do not mutate it.
 func (c *Cache) Get(key string, cur func(table string) uint64) (*Result, bool) {
+	// cur and c.now are caller-supplied callbacks; running either under
+	// c.mu invites deadlock if the callback re-enters the cache (the
+	// PR 4 bug class, now enforced statically by dsdblint's tracerlock).
+	// So the clock is sampled before locking and epoch validation runs
+	// between two critical sections, with an identity recheck in the
+	// second one to tolerate a racing remove.
+	start := c.now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
-	if c.cfg.TTL > 0 && c.now().Sub(e.stored) >= c.cfg.TTL {
+	if c.cfg.TTL > 0 && start.Sub(e.stored) >= c.cfg.TTL {
 		c.expirations++
 		c.remove(e)
 		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
-	for i, t := range e.fp.Tables {
-		if cur(t) != e.fp.Epochs[i] {
-			c.invalidations++
-			c.remove(e)
-			c.misses++
-			return nil, false
+	fp, res := e.fp, e.res
+	c.mu.Unlock()
+
+	stale := false
+	for i, t := range fp.Tables {
+		if cur(t) != fp.Epochs[i] {
+			stale = true
+			break
 		}
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stale {
+		if c.entries[key] == e {
+			c.invalidations++
+			c.remove(e)
+		}
+		c.misses++
+		return nil, false
+	}
 	c.hits++
-	c.lru.MoveToFront(e.elem)
-	return e.res, true
+	if c.entries[key] == e {
+		c.lru.MoveToFront(e.elem)
+	}
+	return res, true
 }
 
 // Put inserts (or replaces) the result for key, evicting
@@ -193,6 +216,10 @@ func (c *Cache) Get(key string, cur func(table string) uint64) (*Result, bool) {
 // equal len(fp.Epochs).
 func (c *Cache) Put(key string, fp Footprint, res *Result, cost time.Duration) bool {
 	size := EntryBytes(key, fp, res)
+	// The injectable clock is user code: sample it before taking c.mu
+	// (SetNowFunc's contract already requires it be set before
+	// concurrent use).
+	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cfg.MinCost > 0 && cost >= 0 && cost < c.cfg.MinCost {
@@ -213,7 +240,7 @@ func (c *Cache) Put(key string, fp Footprint, res *Result, cost time.Duration) b
 		c.evictions++
 		c.remove(back.Value.(*entry))
 	}
-	e := &entry{key: key, fp: fp, res: res, size: size, stored: c.now()}
+	e := &entry{key: key, fp: fp, res: res, size: size, stored: now}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.used += size

@@ -211,7 +211,7 @@ func (c *conn) handshake() error {
 // handler got here (pendingCancel armed for this sequence number)
 // starts the query already cancelled.
 func (c *conn) queryCtx() (context.Context, context.CancelFunc) {
-	ctx := context.Background()
+	ctx := context.Background() //lint:allow ctxflow per-query session root: the wire protocol carries no inbound context
 	var cancel context.CancelFunc
 	if d := c.srv.cfg.queryTimeout; d > 0 {
 		ctx, cancel = context.WithTimeout(ctx, d)

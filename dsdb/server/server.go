@@ -252,7 +252,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close force-closes the listener and every connection without
 // draining.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow deliberately pre-cancelled context selects Shutdown's force path
 	cancel()
 	err := s.Shutdown(ctx)
 	if errors.Is(err, context.Canceled) {

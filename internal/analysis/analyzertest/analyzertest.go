@@ -1,0 +1,354 @@
+// Package analyzertest is a self-contained substitute for
+// golang.org/x/tools/go/analysis/analysistest: it loads testdata
+// packages, runs an analyzer (and its required passes) over them, and
+// checks every diagnostic against `// want "regexp"` comments.
+//
+// The real analysistest depends on go/packages and an external build
+// system; this harness typechecks testdata with go/types directly —
+// testdata packages resolve against each other by directory name under
+// testdata/src, and standard-library imports typecheck from GOROOT
+// source via the stdlib source importer — so the suite runs with no
+// network and no module downloads. Facts flow between testdata
+// packages through an in-memory store, mirroring how the driver
+// serializes them between real packages.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named package from dir/src (dependencies first),
+// applies the analyzer to every one of them, and matches diagnostics
+// against want comments. It reports failures on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(dir)
+	store := newFactStore()
+	for _, pkg := range pkgs {
+		tp, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", pkg, err)
+		}
+		diags, err := runAnalyzer(a, ld.fset, tp, store)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		checkWants(t, ld.fset, tp.files, diags)
+	}
+}
+
+// Diagnostics runs the analyzer over the named packages and returns
+// the diagnostics without want-matching (for tests asserting on the
+// raw output, e.g. suggested fixes).
+func Diagnostics(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	ld := newLoader(dir)
+	store := newFactStore()
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		tp, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", pkg, err)
+		}
+		diags, err := runAnalyzer(a, ld.fset, tp, store)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		out = append(out, diags...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Loading.
+
+type testPkg struct {
+	path  string
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+}
+
+type loader struct {
+	root  string // testdata dir containing src/
+	fset  *token.FileSet
+	pkgs  map[string]*testPkg
+	std   types.Importer
+	stack []string
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root: dir,
+		fset: fset,
+		pkgs: make(map[string]*testPkg),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (ld *loader) load(path string) (*testPkg, error) {
+	if tp, ok := ld.pkgs[path]; ok {
+		return tp, nil
+	}
+	for _, s := range ld.stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	dir := filepath.Join(ld.root, "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if sub, err := ld.load(p); err == nil {
+			return sub.pkg, nil
+		}
+		return ld.std.Import(p)
+	})}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	tp := &testPkg{path: path, pkg: pkg, info: info, files: files}
+	ld.pkgs[path] = tp
+	return tp, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ---------------------------------------------------------------------
+// Running.
+
+// factStore is the in-memory stand-in for the driver's serialized
+// fact files. All testdata packages share one type universe (one
+// FileSet, one loader), so object identity works across packages.
+type factStore struct {
+	objs map[types.Object][]analysis.Fact
+	pkgs map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objs: make(map[types.Object][]analysis.Fact),
+		pkgs: make(map[*types.Package][]analysis.Fact),
+	}
+}
+
+func (s *factStore) get(facts []analysis.Fact, ptr analysis.Fact) bool {
+	for _, f := range facts {
+		if reflect.TypeOf(f) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) set(facts []analysis.Fact, f analysis.Fact) []analysis.Fact {
+	for i, old := range facts {
+		if reflect.TypeOf(old) == reflect.TypeOf(f) {
+			facts[i] = f
+			return facts
+		}
+	}
+	return append(facts, f)
+}
+
+// runAnalyzer applies a (and, transitively, its Requires) to tp and
+// returns a's diagnostics.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, tp *testPkg, store *factStore) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	var run func(a *analysis.Analyzer, top bool) error
+	run = func(a *analysis.Analyzer, top bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      tp.files,
+			Pkg:        tp.pkg,
+			TypesInfo:  tp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   make(map[*analysis.Analyzer]any),
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if top {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				return store.get(store.objs[obj], fact)
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				store.objs[obj] = store.set(store.objs[obj], fact)
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				return store.get(store.pkgs[pkg], fact)
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				store.pkgs[tp.pkg] = store.set(store.pkgs[tp.pkg], fact)
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				var out []analysis.ObjectFact
+				for obj, facts := range store.objs {
+					for _, f := range facts {
+						out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+					}
+				}
+				return out
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				var out []analysis.PackageFact
+				for pkg, facts := range store.pkgs {
+					for _, f := range facts {
+						out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+					}
+				}
+				return out
+			},
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		if a.ResultType != nil && res != nil && !reflect.TypeOf(res).AssignableTo(a.ResultType) {
+			return fmt.Errorf("%s returned %T, want %s", a.Name, res, a.ResultType)
+		}
+		results[a] = res
+		return nil
+	}
+	if err := run(a, true); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// ---------------------------------------------------------------------
+// Want comments.
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted strings from a want comment:
+// `"a" "b"` -> ["a", "b"].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		rest := s[i:]
+		// strconv.QuotedPrefix handles escapes.
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return out
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return out
+		}
+		out = append(out, unq)
+		s = rest[len(q):]
+	}
+}

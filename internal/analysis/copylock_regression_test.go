@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/passes/copylock"
+
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestCopylockCatchesCopiedLatch pins the satellite requirement: the
+// vet copylocks pass in the dsdblint set flags an rwLatch copied by
+// value.
+func TestCopylockCatchesCopiedLatch(t *testing.T) {
+	analyzertest.Run(t, "testdata", copylock.Analyzer, "latchcopy")
+}

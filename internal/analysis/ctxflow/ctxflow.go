@@ -1,0 +1,220 @@
+// Package ctxflow defines an analyzer that keeps context plumbing
+// honest in the request paths.
+//
+// In the serving layers (dsdb, dsdb/server, dsdb/client, dsdb/load)
+// and the executor, a fresh context.Background()/context.TODO()
+// severs cancellation: the query it guards can no longer be cancelled
+// by the client's Cancel frame, the server's deadline, or the caller's
+// ctx — the exact machinery PR 3 built. Two idioms remain legal
+// without annotation: the nil-guard default (`if ctx == nil { ctx =
+// context.Background() }`), which preserves a caller-supplied context
+// when there is one, and anything carrying a //lint:allow ctxflow with
+// its reason (the server's per-query root in queryCtx is the session
+// boundary — there is no inbound context to inherit).
+//
+// The analyzer also flags a declared `ctx context.Context` parameter
+// that the function never reads: a ctx that arrives and goes nowhere
+// means some blocking call below runs uncancellable.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/lintutil"
+)
+
+const name = "ctxflow"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid fresh context roots and dead ctx parameters in request paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// requestPkgs are the packages whose call paths serve requests.
+// Drivers (cmd/*, examples, stcpipe, tests) own their lifecycles and
+// may root contexts freely.
+var requestPkgs = []string{
+	"repro/dsdb",
+	"repro/dsdb/server",
+	"repro/dsdb/client",
+	"repro/dsdb/load",
+	"repro/internal/db/executor",
+}
+
+func inScope(pkgPath string) bool {
+	for _, p := range requestPkgs {
+		if pkgPath == p || pkgPath == path.Base(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestFile(pass *analysis.Pass, n ast.Node) bool {
+	f := pass.Fset.File(n.Pos())
+	return f != nil && len(f.Name()) > 8 && f.Name()[len(f.Name())-8:] == "_test.go"
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintutil.NewAllower(pass, name)
+
+	// Fresh context roots.
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n) {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		fn, ok := typesFunc(pass, call)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if nilGuarded(pass, stack) {
+			return true
+		}
+		d := analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: "context." + fn.Name() + "() in a request path severs cancellation: " +
+				"propagate the caller's ctx (or annotate the boundary with //lint:allow ctxflow <reason>)",
+		}
+		// Where a ctx parameter is in scope, replacing the fresh root
+		// with it is the safe mechanical fix.
+		if param := enclosingCtxParam(pass, stack); param != "" {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message: "use the enclosing function's " + param + " parameter",
+				TextEdits: []analysis.TextEdit{{
+					Pos:     call.Pos(),
+					End:     call.End(),
+					NewText: []byte(param),
+				}},
+			}}
+		}
+		allow.Report(d)
+		return true
+	})
+
+	// Dead ctx parameters.
+	used := make(map[types.Object]bool)
+	for _, obj := range pass.TypesInfo.Uses {
+		used[obj] = true
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || isTestFile(pass, fd) {
+			return
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, id := range field.Names {
+				if id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil || !isContextType(obj.Type()) {
+					continue
+				}
+				if !used[obj] {
+					allow.Reportf(id.Pos(),
+						"%s declares ctx parameter %q but never uses it: the calls below run uncancellable",
+						fd.Name.Name, id.Name)
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func typesFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// nilGuarded recognizes the legal defaulting idiom: the Background/
+// TODO call is the RHS of an assignment to a context variable, inside
+// an if whose condition checks that same variable against nil.
+func nilGuarded(pass *analysis.Pass, stack []ast.Node) bool {
+	var assigned types.Object
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					assigned = pass.TypesInfo.ObjectOf(id)
+				}
+			}
+		case *ast.IfStmt:
+			if assigned == nil {
+				return false
+			}
+			bin, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok || bin.Op.String() != "==" {
+				return false
+			}
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if id, ok := side.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == assigned {
+					return true
+				}
+			}
+			return false
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// enclosingCtxParam returns the name of a context.Context parameter of
+// the innermost enclosing function, if any.
+func enclosingCtxParam(pass *analysis.Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, id := range field.Names {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[id]; obj != nil && isContextType(obj.Type()) {
+					return id.Name
+				}
+			}
+		}
+		return ""
+	}
+	return ""
+}

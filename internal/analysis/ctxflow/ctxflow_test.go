@@ -1,0 +1,36 @@
+package ctxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "server")
+}
+
+// TestSuggestedFix pins the -fix behavior: where a ctx parameter is
+// in scope, the fresh root's diagnostic carries an edit replacing the
+// call with the parameter.
+func TestSuggestedFix(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata", ctxflow.Analyzer, "server")
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "severs cancellation") {
+			continue
+		}
+		for _, fix := range d.SuggestedFixes {
+			for _, edit := range fix.TextEdits {
+				if string(edit.NewText) == "ctx" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no fresh-root diagnostic carried the use-the-ctx-parameter fix")
+	}
+}

@@ -1,0 +1,45 @@
+// Package server is a testdata stand-in for a request-path package
+// (matched by base name), where ctxflow applies.
+package server
+
+import "context"
+
+func query(ctx context.Context, q string) error {
+	<-ctx.Done()
+	_ = q
+	return nil
+}
+
+// handle is the legal shape: the inbound ctx reaches the blocking
+// call.
+func handle(ctx context.Context, q string) error {
+	return query(ctx, q)
+}
+
+func badFreshRoot(q string) error {
+	ctx := context.Background() // want "context.Background.. in a request path severs cancellation"
+	return query(ctx, q)
+}
+
+func badTODO(q string) error {
+	return query(context.TODO(), q) // want "context.TODO.. in a request path severs cancellation"
+}
+
+// legalNilGuard is the defaulting idiom: a caller-supplied context is
+// preserved when there is one.
+func legalNilGuard(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return query(ctx, q)
+}
+
+// legalAllowed marks a genuine session boundary.
+func legalAllowed(q string) error {
+	ctx := context.Background() //lint:allow ctxflow session root: there is no inbound context at accept time
+	return query(ctx, q)
+}
+
+func badDeadParam(ctx context.Context, q string) error { // want "badDeadParam declares ctx parameter .ctx. but never uses it"
+	return query(context.Background(), q) // want "context.Background.. in a request path severs cancellation"
+}

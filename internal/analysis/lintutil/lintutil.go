@@ -1,0 +1,469 @@
+// Package lintutil carries the machinery the dsdblint analyzers share:
+// the //lint:allow escape hatch, recognition of ranked-lock
+// acquire/release calls (driven by the lockrank table), and a
+// source-order walker that tracks the set of locks held across a
+// function body.
+package lintutil
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/lockrank"
+)
+
+// ---------------------------------------------------------------------
+// //lint:allow <analyzer> <reason>
+//
+// The escape hatch: a diagnostic is suppressed when an allow directive
+// naming its analyzer appears on the offending line, on the line
+// directly above it, or in the doc comment of the enclosing function
+// declaration (function-scope allow, for invariants a whole function
+// legitimately steps outside of — BeginRead escaping the latch it
+// acquired, recovery rebuilding the catalog without logging). The
+// reason is mandatory: a bare directive is itself reported, so every
+// suppression in the tree documents why it is safe.
+
+const allowPrefix = "//lint:allow"
+
+// Allower filters one analyzer's diagnostics through the allow index
+// of the package being analyzed.
+type Allower struct {
+	pass     *analysis.Pass
+	analyzer string
+	lines    map[string]bool    // "filename:line" with an allow for this analyzer
+	funcs    []token.Pos        // Pos of FuncDecls whose doc allows this analyzer
+	ranges   [][2]token.Pos     // body ranges of those FuncDecls
+	reported map[token.Pos]bool // malformed directives already reported
+}
+
+// NewAllower indexes the pass's files for directives naming analyzer.
+// Malformed directives (no analyzer, or no reason) are reported
+// immediately, once, by whichever analyzer builds the index first for
+// that position — in practice every analyzer reports them, which is
+// loud, and loud is correct for a broken suppression.
+func NewAllower(pass *analysis.Pass, analyzer string) *Allower {
+	a := &Allower{
+		pass:     pass,
+		analyzer: analyzer,
+		lines:    make(map[string]bool),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // not ours to validate: could be another lint namespace
+				}
+				name := fields[0]
+				if name != analyzer {
+					continue
+				}
+				if len(fields) < 2 {
+					pass.Reportf(c.Pos(), "lint:allow %s directive is missing its reason", name)
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				a.lines[posKey(p.Filename, p.Line)] = true
+			}
+		}
+		// Function-scope allows live in the decl's doc comment.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				if len(fields) >= 2 && fields[0] == analyzer {
+					a.ranges = append(a.ranges, [2]token.Pos{fd.Pos(), fd.Body.End()})
+				}
+			}
+		}
+	}
+	return a
+}
+
+func posKey(file string, line int) string {
+	// Line numbers are small; this beats fmt.Sprintf in a hot index.
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed.
+func (a *Allower) Allowed(pos token.Pos) bool {
+	p := a.pass.Fset.Position(pos)
+	if a.lines[posKey(p.Filename, p.Line)] || a.lines[posKey(p.Filename, p.Line-1)] {
+		return true
+	}
+	for _, r := range a.ranges {
+		if r[0] <= pos && pos <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Report emits a diagnostic unless an allow directive covers it.
+func (a *Allower) Report(d analysis.Diagnostic) {
+	if a.Allowed(d.Pos) {
+		return
+	}
+	a.pass.Report(d)
+}
+
+// Reportf is the printf form of Report.
+func (a *Allower) Reportf(pos token.Pos, format string, args ...any) {
+	a.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------
+// Ranked-lock call classification.
+
+// Op distinguishes acquisition from release.
+type Op int
+
+const (
+	Acquire Op = iota
+	Release
+)
+
+// Event is one ranked-lock operation at a call site.
+type Event struct {
+	Lock *lockrank.Lock
+	Mode lockrank.Mode
+	Op   Op
+	Call *ast.CallExpr
+}
+
+var mutexMethods = map[string]struct {
+	op   Op
+	mode lockrank.Mode
+}{
+	"Lock":    {Acquire, lockrank.Exclusive},
+	"RLock":   {Acquire, lockrank.Shared},
+	"Unlock":  {Release, lockrank.Exclusive},
+	"RUnlock": {Release, lockrank.Shared},
+}
+
+// ClassifyCall reports whether call acquires or releases a ranked
+// lock. Internal locks (the rwLatch's own mutex) classify as nothing:
+// their discipline belongs to the latch methods.
+func ClassifyCall(info *types.Info, call *ast.CallExpr) (Event, bool) {
+	callee := typeutil.Callee(info, call)
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		return Event{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return Event{}, false
+	}
+	recvT := derefNamed(sig.Recv().Type())
+	if recvT == nil || recvT.Obj().Pkg() == nil {
+		return Event{}, false
+	}
+	pkgPath := recvT.Obj().Pkg().Path()
+	typeName := recvT.Obj().Name()
+
+	// Custom latch surface: a method named in a table entry's
+	// Acquire*/Release* lists, declared on the entry's type.
+	for i := range lockrank.Table {
+		l := &lockrank.Table[i]
+		if l.Field != "" || l.Internal || l.Type != typeName || !l.PkgMatches(pkgPath) {
+			continue
+		}
+		if op, mode, ok := latchMethod(l, fn.Name()); ok {
+			return Event{Lock: l, Mode: mode, Op: op, Call: call}, true
+		}
+	}
+
+	// Standard mutex surface: sync.Mutex/sync.RWMutex method whose
+	// receiver expression is a named field of a ranked type.
+	if pkgPath == "sync" && (typeName == "Mutex" || typeName == "RWMutex") {
+		mm, ok := mutexMethods[fn.Name()]
+		if !ok {
+			return Event{}, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return Event{}, false
+		}
+		base, ok := sel.X.(*ast.SelectorExpr) // <owner>.<field>.Lock
+		if !ok {
+			return Event{}, false
+		}
+		field := base.Sel.Name
+		ownerT := derefNamed(info.TypeOf(base.X))
+		if ownerT == nil || ownerT.Obj().Pkg() == nil {
+			return Event{}, false
+		}
+		for i := range lockrank.Table {
+			l := &lockrank.Table[i]
+			if l.Field != field || l.Type != ownerT.Obj().Name() || !l.PkgMatches(ownerT.Obj().Pkg().Path()) {
+				continue
+			}
+			if l.Internal {
+				return Event{}, false
+			}
+			return Event{Lock: l, Mode: mm.mode, Op: mm.op, Call: call}, true
+		}
+	}
+	return Event{}, false
+}
+
+func latchMethod(l *lockrank.Lock, name string) (Op, lockrank.Mode, bool) {
+	for _, m := range l.AcquireExcl {
+		if m == name {
+			return Acquire, lockrank.Exclusive, true
+		}
+	}
+	for _, m := range l.AcquireShared {
+		if m == name {
+			return Acquire, lockrank.Shared, true
+		}
+	}
+	for _, m := range l.ReleaseExcl {
+		if m == name {
+			return Release, lockrank.Exclusive, true
+		}
+	}
+	for _, m := range l.ReleaseShared {
+		if m == name {
+			return Release, lockrank.Shared, true
+		}
+	}
+	return 0, 0, false
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Held-lock walker.
+
+// Held is one lock the walker believes is held at a program point.
+type Held struct {
+	Lock *lockrank.Lock
+	Mode lockrank.Mode
+	// At is where it was acquired (for diagnostics).
+	At token.Pos
+}
+
+// Callbacks receives the walker's events. Either may be nil.
+type Callbacks struct {
+	// OnAcquire fires for each ranked acquisition, with the locks held
+	// at that moment (the acquisition itself not yet included).
+	OnAcquire func(ev Event, held []Held)
+	// OnCall fires for every other call: callee is the statically
+	// resolved target, or nil for calls through function values,
+	// interface methods and method values. Conversions and builtins do
+	// not fire.
+	OnCall func(call *ast.CallExpr, callee *types.Func, held []Held)
+}
+
+// WalkFunc traverses a function body in source order, maintaining the
+// multiset of ranked locks held. The model is deliberately linear — it
+// tracks straight-line acquire/release pairing and treats a deferred
+// release as holding to the end of the function — which matches how
+// every critical section in this codebase is written; path-sensitive
+// release checking is unlockpath's job. Function literals are walked
+// with a fresh (empty) held set: they execute at some other time.
+func WalkFunc(info *types.Info, body *ast.BlockStmt, cb Callbacks) {
+	w := &walker{info: info, cb: cb}
+	w.walk(body)
+}
+
+type walker struct {
+	info *types.Info
+	cb   Callbacks
+	held []Held
+}
+
+func (w *walker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			w.ifStmt(n)
+			return false
+		case *ast.FuncLit:
+			saved := w.held
+			w.held = nil
+			w.walk(n.Body)
+			w.held = saved
+			return false
+		case *ast.DeferStmt:
+			// A deferred release keeps the lock held for the walk's
+			// remainder (that is what "held to end of function" means
+			// linearly); a deferred acquisition is not a thing we model.
+			if ev, ok := ClassifyCall(w.info, n.Call); ok && ev.Op == Release {
+				return false
+			}
+			// Deferred ordinary calls run at exit, under whatever is
+			// then held; the linear model skips them.
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+			// Arguments were visited by w.call before the event fired;
+			// do not descend again.
+			return false
+		}
+		return true
+	})
+}
+
+// ifStmt walks a branch with held-set restoration: a branch that
+// cannot fall through (it returns, breaks, continues or panics) must
+// not leak its acquire/release effects into the code after the if.
+// This is the buffer pool's hit/miss shape — the hit arm unlocks and
+// returns, the fall-through continues under the mutex — which a
+// purely linear walk would misread as unlocked.
+func (w *walker) ifStmt(n *ast.IfStmt) {
+	if n.Init != nil {
+		w.walk(n.Init)
+	}
+	w.walk(n.Cond)
+	entry := append([]Held(nil), w.held...)
+	w.walk(n.Body)
+	bodyEnd := w.held
+	bodyTerm := terminates(n.Body)
+	if n.Else == nil {
+		if bodyTerm {
+			w.held = entry
+		}
+		return
+	}
+	w.held = append([]Held(nil), entry...)
+	w.walk(n.Else)
+	elseEnd := w.held
+	switch {
+	case bodyTerm && terminates(n.Else):
+		w.held = entry // nothing after the if is reachable from either arm
+	case bodyTerm:
+		w.held = elseEnd
+	default:
+		// Else terminates, or both fall through; either way the body's
+		// end state is the one that reaches the next statement (when
+		// both fall through the arms are assumed lock-balanced, the
+		// codebase's universal shape).
+		w.held = bodyEnd
+	}
+}
+
+// terminates reports whether no execution of s falls through to the
+// statement after it.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	}
+	return false
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	// Evaluate arguments (and the receiver chain) first: nested calls
+	// happen before the outer one.
+	for _, arg := range call.Args {
+		w.walk(arg)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.walk(sel.X)
+	}
+
+	if ev, ok := ClassifyCall(w.info, call); ok {
+		switch ev.Op {
+		case Acquire:
+			if w.cb.OnAcquire != nil {
+				w.cb.OnAcquire(ev, w.held)
+			}
+			w.held = append(w.held, Held{Lock: ev.Lock, Mode: ev.Mode, At: call.Pos()})
+		case Release:
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].Lock == ev.Lock && w.held[i].Mode == ev.Mode {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	if w.cb.OnCall == nil {
+		return
+	}
+	// Skip conversions and builtins; report static callees, and nil
+	// for genuinely dynamic calls.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	switch callee := typeutil.Callee(w.info, call).(type) {
+	case *types.Func:
+		w.cb.OnCall(call, callee, w.held)
+	case *types.Builtin:
+		return
+	case *types.Var:
+		// A call through a func-typed variable, field or parameter.
+		w.cb.OnCall(call, nil, w.held)
+	default:
+		if callee == nil {
+			// Interface method calls, method values, immediate FuncLit
+			// invocations, and calls of arbitrary expressions.
+			if _, ok := w.info.TypeOf(call.Fun).Underlying().(*types.Signature); ok {
+				w.cb.OnCall(call, nil, w.held)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package lockorder defines an analyzer that enforces the engine's
+// latch acquisition order.
+//
+// The legal order is declared once, in the lockrank table: engine
+// latch before buffer-pool mutex before storage/catalog leaves, and so
+// on. This analyzer flags any call path that acquires a ranked lock
+// while holding one that is not strictly outer to it — including
+// exclusive reentry of the engine latch, the deadlock the
+// reader-preferring rwLatch was introduced to prevent for the shared
+// side only (PR 2's review-hardening round).
+//
+// The analysis is modular: each function exports a fact summarizing
+// every ranked lock it may acquire, directly or through the static
+// calls it makes, so an out-of-order acquisition buried three calls
+// deep in another package is still attributed to the call site that
+// committed it. Calls through interfaces and function values are not
+// tracked; the latch discipline for those sites rests on the
+// documented contracts (executor nodes run under the caller's shared
+// latch and acquire only inner locks).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/lintutil"
+	"repro/internal/analysis/lockrank"
+)
+
+const name = "lockorder"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      name,
+	Doc:       "check that ranked engine locks are acquired in lock-rank order",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{new(acquiresFact)},
+	Run:       run,
+}
+
+// lockUse is one (lock, mode) a function may acquire.
+type lockUse struct {
+	Name   string
+	Shared bool
+}
+
+// acquiresFact summarizes the ranked locks a function may acquire,
+// transitively through static calls. Attached to *types.Func objects
+// and serialized across package boundaries by the driver.
+type acquiresFact struct {
+	Uses []lockUse
+}
+
+func (*acquiresFact) AFact() {}
+
+func (f *acquiresFact) String() string {
+	s := "acquires("
+	for i, u := range f.Uses {
+		if i > 0 {
+			s += ", "
+		}
+		s += u.Name
+		if u.Shared {
+			s += "[shared]"
+		}
+	}
+	return s + ")"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintutil.NewAllower(pass, name)
+
+	// Gather every function body in the package (declarations only;
+	// function literals are summarized into their enclosing function).
+	type fnInfo struct {
+		obj     *types.Func
+		body    *ast.BlockStmt
+		direct  map[lockUse]bool
+		callees map[*types.Func]bool
+		sum     map[lockUse]bool
+	}
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		fi := &fnInfo{
+			obj:     obj,
+			body:    fd.Body,
+			direct:  make(map[lockUse]bool),
+			callees: make(map[*types.Func]bool),
+		}
+		lintutil.WalkFunc(pass.TypesInfo, fd.Body, lintutil.Callbacks{
+			OnAcquire: func(ev lintutil.Event, _ []lintutil.Held) {
+				fi.direct[lockUse{Name: ev.Lock.Name, Shared: ev.Mode == lockrank.Shared}] = true
+			},
+			OnCall: func(_ *ast.CallExpr, callee *types.Func, _ []lintutil.Held) {
+				if callee != nil {
+					fi.callees[callee] = true
+				}
+			},
+		})
+		fns = append(fns, fi)
+		byObj[obj] = fi
+	})
+
+	// Resolve each function's transitive acquisition summary: its own
+	// direct acquisitions, plus imported facts for cross-package
+	// callees, plus a fixpoint over same-package call edges (mutual
+	// recursion converges because summaries only grow).
+	for _, fi := range fns {
+		fi.sum = make(map[lockUse]bool, len(fi.direct))
+		for u := range fi.direct {
+			fi.sum[u] = true
+		}
+		for callee := range fi.callees {
+			if byObj[callee] != nil {
+				continue // same package: handled by the fixpoint
+			}
+			var fact acquiresFact
+			if pass.ImportObjectFact(callee, &fact) {
+				for _, u := range fact.Uses {
+					fi.sum[u] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for callee := range fi.callees {
+				cf := byObj[callee]
+				if cf == nil || cf.sum == nil {
+					continue
+				}
+				for u := range cf.sum {
+					if !fi.sum[u] {
+						fi.sum[u] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fi := range fns {
+		if len(fi.sum) == 0 {
+			continue
+		}
+		fact := &acquiresFact{Uses: make([]lockUse, 0, len(fi.sum))}
+		for u := range fi.sum {
+			fact.Uses = append(fact.Uses, u)
+		}
+		sort.Slice(fact.Uses, func(i, j int) bool {
+			if fact.Uses[i].Name != fact.Uses[j].Name {
+				return fact.Uses[i].Name < fact.Uses[j].Name
+			}
+			return !fact.Uses[i].Shared && fact.Uses[j].Shared
+		})
+		pass.ExportObjectFact(fi.obj, fact)
+	}
+
+	// Diagnostic walk: check every acquisition — direct or summarized
+	// behind a static call — against the locks held at that point.
+	check := func(held []lintutil.Held, next lockUse, pos ast.Node, via *types.Func) {
+		for _, h := range held {
+			nextMode := lockrank.Exclusive
+			if next.Shared {
+				nextMode = lockrank.Shared
+			}
+			if lockrank.MayAcquire(h.Lock.Name, h.Mode, next.Name, nextMode) {
+				continue
+			}
+			msg := ""
+			if via != nil {
+				msg = fmt.Sprintf("call to %s may acquire %s (%s) while %s is held (%s): lock-rank order violated",
+					via.Name(), next.Name, nextMode, h.Lock.Name, h.Mode)
+			} else if h.Lock.Name == next.Name {
+				msg = fmt.Sprintf("%s reacquired (%s) while already held (%s): the latch is not reentrant on this path",
+					next.Name, nextMode, h.Mode)
+			} else {
+				msg = fmt.Sprintf("%s (%s) acquired while %s is held (%s): lock-rank order violated",
+					next.Name, nextMode, h.Lock.Name, h.Mode)
+			}
+			allow.Reportf(pos.Pos(), "%s", msg)
+		}
+	}
+	for _, fi := range fns {
+		lintutil.WalkFunc(pass.TypesInfo, fi.body, lintutil.Callbacks{
+			OnAcquire: func(ev lintutil.Event, held []lintutil.Held) {
+				check(held, lockUse{Name: ev.Lock.Name, Shared: ev.Mode == lockrank.Shared}, ev.Call, nil)
+			},
+			OnCall: func(call *ast.CallExpr, callee *types.Func, held []lintutil.Held) {
+				if callee == nil || len(held) == 0 {
+					return
+				}
+				var uses []lockUse
+				if cf := byObj[callee]; cf != nil {
+					for u := range cf.sum {
+						uses = append(uses, u)
+					}
+					sort.Slice(uses, func(i, j int) bool { return uses[i].Name < uses[j].Name })
+				} else {
+					var fact acquiresFact
+					if pass.ImportObjectFact(callee, &fact) {
+						uses = fact.Uses
+					}
+				}
+				for _, u := range uses {
+					check(held, u, call, callee)
+				}
+			},
+		})
+	}
+	return nil, nil
+}

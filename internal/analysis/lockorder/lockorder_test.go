@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockorder.Analyzer, "buffer", "engine", "qcache")
+}
+
+// TestScratchOutOfOrder pins the acceptance scenario: a deliberate
+// out-of-order latch acquisition in a scratch package, nothing else,
+// is caught.
+func TestScratchOutOfOrder(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata", "scratch"), lockorder.Analyzer, "engine")
+}

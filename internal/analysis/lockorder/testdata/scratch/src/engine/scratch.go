@@ -1,0 +1,28 @@
+// Package engine is a scratch stand-in holding one deliberately
+// backwards acquisition, pinned so the suite proves lockorder catches
+// a fresh out-of-order latch acquisition with no other context.
+package engine
+
+import "sync"
+
+type rwLatch struct {
+	mu sync.Mutex
+}
+
+func (l *rwLatch) lock()   { l.mu.Lock() }
+func (l *rwLatch) unlock() { l.mu.Unlock() }
+
+type DB struct {
+	closeMu sync.Mutex
+	latch   *rwLatch
+}
+
+// backwardsClose is close-then-checkpoint written in the wrong order:
+// the exclusive latch is taken first, then the close guard — the
+// reverse of the ranked closeMu-before-latch order.
+func (db *DB) backwardsClose() {
+	db.latch.lock()
+	defer db.latch.unlock()
+	db.closeMu.Lock() // want "engine.closeMu .exclusive. acquired while engine.latch is held .exclusive.: lock-rank order violated"
+	db.closeMu.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package buffer is a testdata stand-in for the buffer pool: Manager
+// matches the lockrank entry buffer.pool by package base name, type
+// and field.
+package buffer
+
+import "sync"
+
+// Manager mirrors the pool's lock surface: one mutex named mu.
+type Manager struct {
+	mu     sync.Mutex
+	pinned int
+}
+
+// Get pins a page under the pool mutex; callers inherit the
+// buffer.pool acquisition through Get's exported fact.
+func (m *Manager) Get() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pinned++
+	return m.pinned
+}

@@ -1,0 +1,89 @@
+// Package engine is a testdata stand-in for the engine package:
+// rwLatch and DB match the lockrank entries engine.latch and
+// engine.closeMu.
+package engine
+
+import (
+	"sync"
+
+	"buffer"
+)
+
+type rwLatch struct {
+	mu      sync.Mutex
+	readers int
+}
+
+func (l *rwLatch) lock()   { l.mu.Lock() }
+func (l *rwLatch) unlock() { l.mu.Unlock() }
+
+func (l *rwLatch) rlock() {
+	l.mu.Lock()
+	l.readers++
+	l.mu.Unlock()
+}
+
+func (l *rwLatch) runlock() {
+	l.mu.Lock()
+	l.readers--
+	l.mu.Unlock()
+}
+
+type DB struct {
+	closeMu sync.Mutex
+	latch   *rwLatch
+	pool    *buffer.Manager
+}
+
+// legalClose follows the ranked order: closeMu, then the exclusive
+// latch, then (via Get's fact) the pool mutex.
+func (db *DB) legalClose() {
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	db.latch.lock()
+	defer db.latch.unlock()
+	db.pool.Get()
+}
+
+// legalNestedRead: shared reacquisition of the reader-preferring
+// latch is the documented contract.
+func (db *DB) legalNestedRead() {
+	db.latch.rlock()
+	defer db.latch.runlock()
+	db.latch.rlock()
+	db.latch.runlock()
+}
+
+func (db *DB) badBackwards() {
+	db.latch.lock()
+	defer db.latch.unlock()
+	db.closeMu.Lock() // want "engine.closeMu .exclusive. acquired while engine.latch is held .exclusive.: lock-rank order violated"
+	db.closeMu.Unlock()
+}
+
+func (db *DB) badReentry() {
+	db.latch.lock()
+	defer db.latch.unlock()
+	db.latch.lock() // want "engine.latch reacquired .exclusive. while already held .exclusive.: the latch is not reentrant on this path"
+	db.latch.unlock()
+}
+
+func (db *DB) badUpgrade() {
+	db.latch.rlock()
+	defer db.latch.runlock()
+	db.latch.lock() // want "engine.latch reacquired .exclusive. while already held .shared.: the latch is not reentrant on this path"
+	db.latch.unlock()
+}
+
+func (db *DB) takeClose() {
+	db.closeMu.Lock()
+	db.closeMu.Unlock()
+}
+
+// badViaCall commits the violation one frame away: takeClose's
+// summary fact attributes its closeMu acquisition to this call site.
+func (db *DB) badViaCall() {
+	db.latch.lock()
+	defer db.latch.unlock()
+	db.takeClose() // want "call to takeClose may acquire engine.closeMu .exclusive. while engine.latch is held .exclusive.: lock-rank order violated"
+}

@@ -1,0 +1,31 @@
+// Package qcache is a testdata stand-in for the result cache; Cache
+// matches the lockrank entry qcache.cache, a leaf.
+package qcache
+
+import (
+	"sync"
+
+	"buffer"
+)
+
+type Cache struct {
+	mu   sync.Mutex
+	pool *buffer.Manager
+}
+
+// badRefill pins a page while holding the cache mutex: qcache.cache
+// is a leaf, so the pool acquisition inside Get is out of order. The
+// violation crosses a package boundary — only Get's exported fact
+// reveals it here.
+func (c *Cache) badRefill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool.Get() // want "call to Get may acquire buffer.pool .exclusive. while qcache.cache is held .exclusive.: lock-rank order violated"
+}
+
+// legalRefill touches the pool only after the cache mutex is gone.
+func (c *Cache) legalRefill() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.pool.Get()
+}

@@ -1,0 +1,324 @@
+// Package lockrank declares the engine's lock hierarchy as data: every
+// latch and mutex in the kernel and its serving layers, the order in
+// which they may be acquired, and the auxiliary invariants (no tracer
+// emission, shared-mode reentrancy) that the dsdblint analyzers
+// enforce mechanically.
+//
+// The table is the single source of truth. The lockorder analyzer
+// derives its partial order from the Before edges; the tracerlock
+// analyzer reads the NoTracer bit; the unlockpath analyzer tracks
+// acquire/release method pairs; and the lockrank unit tests pin two
+// meta-invariants — the edges form a DAG, and every mutex-bearing type
+// under internal/db appears here — so a new lock cannot be added to
+// the engine without ranking it.
+package lockrank
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Mode distinguishes shared from exclusive acquisition of a
+// reader/writer lock. Plain mutexes only ever acquire Exclusive.
+type Mode int
+
+const (
+	Exclusive Mode = iota
+	Shared
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Lock is one ranked lock.
+//
+// A lock is identified structurally, not by annotation: either as a
+// named mutex field of a named type (Type + Field, e.g. the buffer
+// pool's Manager.mu), or as a custom latch type whose methods are the
+// acquire/release surface (Type with AcquireExcl/AcquireShared/...
+// method names, e.g. the engine's rwLatch). Pkg is the full import
+// path of the declaring package; matching also accepts a bare package
+// whose path equals the last element of Pkg, so analyzer testdata can
+// declare stand-in types in packages named "engine", "buffer", ...
+type Lock struct {
+	// Name is the stable identity used in Before edges, diagnostics
+	// and //lint:allow directives.
+	Name string
+
+	// Pkg is the import path of the declaring package.
+	Pkg string
+
+	// Type is the named type that carries the lock.
+	Type string
+
+	// Field names the sync.Mutex/sync.RWMutex field when the lock is
+	// an ordinary mutex; empty for method-surface latches.
+	Field string
+
+	// Method-surface latches: names of the methods that acquire and
+	// release each mode. Empty for mutex fields (which use the
+	// standard Lock/RLock/Unlock/RUnlock surface).
+	AcquireExcl   []string
+	AcquireShared []string
+	ReleaseExcl   []string
+	ReleaseShared []string
+
+	// Before lists the locks (by Name) that may be acquired while this
+	// one is held. The transitive closure of these edges is the legal
+	// acquisition order; anything else is a lockorder diagnostic.
+	Before []string
+
+	// SharedReentrant marks a lock whose shared mode may be reacquired
+	// by a holder of the shared mode (the reader-preferring engine
+	// latch: nested reads from an open result set are the documented
+	// contract). Exclusive reacquisition is always a violation.
+	SharedReentrant bool
+
+	// NoTracer marks a lock under which no probe event may be emitted
+	// and no caller-supplied callback may be invoked (the reentrant-
+	// tracer deadlock class from PR 3/PR 4).
+	NoTracer bool
+
+	// Internal marks a lock that is the hidden implementation of a
+	// method-surface latch declared elsewhere in the table (the
+	// rwLatch's own mu). Internal locks are exempt from acquisition
+	// tracking — their discipline is the latch methods' to keep — but
+	// still count as "ranked" for the completeness test.
+	Internal bool
+
+	// Doc states the invariant and, where one exists, the historical
+	// bug this rank pins.
+	Doc string
+}
+
+// Table is the engine's lock hierarchy, outermost first. Order in the
+// slice is documentation only; the partial order is the Before edges.
+var Table = []Lock{
+	{
+		Name:   "engine.closeMu",
+		Pkg:    "repro/internal/db/engine",
+		Type:   "DB",
+		Field:  "closeMu",
+		Before: []string{"engine.latch"},
+		Doc: "Close/Abandon idempotence guard; taken before the engine latch " +
+			"(Close checkpoints under the exclusive latch while holding it).",
+	},
+	{
+		Name:          "engine.latch",
+		Pkg:           "repro/internal/db/engine",
+		Type:          "rwLatch",
+		AcquireExcl:   []string{"lock"},
+		AcquireShared: []string{"rlock"},
+		ReleaseExcl:   []string{"unlock"},
+		ReleaseShared: []string{"runlock"},
+		Before: []string{
+			"buffer.pool", "catalog.catalog", "storage.store",
+			"wal.writer", "qcache.cache", "probe.counters",
+		},
+		SharedReentrant: true,
+		Doc: "The engine latch: shared for query execution, exclusive for " +
+			"Insert/DDL/Checkpoint. Reader-preferring by design (PR 2's " +
+			"nested-read deadlock): shared reacquisition is legal, exclusive " +
+			"reentry deadlocks.",
+	},
+	{
+		Name:     "engine.latch.mu",
+		Pkg:      "repro/internal/db/engine",
+		Type:     "rwLatch",
+		Field:    "mu",
+		Internal: true,
+		Doc: "The rwLatch's internal mutex; only the four latch methods may " +
+			"touch it, so it is exempt from call-path tracking.",
+	},
+	{
+		Name:     "buffer.pool",
+		Pkg:      "repro/internal/db/buffer",
+		Type:     "Manager",
+		Field:    "mu",
+		Before:   []string{"storage.store", "probe.counters"},
+		NoTracer: true,
+		Doc: "The buffer pool mutex: frame table, clock hand, flush registry. " +
+			"No tracer emission while held (PR 3's reentrant-tracer deadlock); " +
+			"miss IO runs under the per-frame latch, not here.",
+	},
+	{
+		Name:   "storage.store",
+		Pkg:    "repro/internal/db/storage",
+		Type:   "Store",
+		Field:  "mu",
+		Before: nil,
+		Doc: "Storage manager page-table RWMutex; a leaf — page IO must not " +
+			"call back up into pool, catalog or engine.",
+	},
+	{
+		Name:   "catalog.catalog",
+		Pkg:    "repro/internal/db/catalog",
+		Type:   "Catalog",
+		Field:  "mu",
+		Before: nil,
+		Doc:    "Catalog RWMutex; a leaf.",
+	},
+	{
+		Name:   "wal.writer",
+		Pkg:    "repro/internal/db/wal",
+		Type:   "Writer",
+		Field:  "mu",
+		Before: nil,
+		Doc: "WAL writer mutex serializing Append/Sync/ResetTo; a leaf — log " +
+			"IO never re-enters the engine.",
+	},
+	{
+		Name:   "probe.counters",
+		Pkg:    "repro/internal/db/probe",
+		Type:   "CounterSet",
+		Field:  "mu",
+		Before: nil,
+		Doc:    "Counter registry mutex (registration only; counts are atomic); a leaf.",
+	},
+	{
+		Name:     "qcache.cache",
+		Pkg:      "repro/dsdb/qcache",
+		Type:     "Cache",
+		Field:    "mu",
+		Before:   nil,
+		NoTracer: true,
+		Doc: "Result cache mutex. A leaf, and no caller-supplied callback may " +
+			"run under it (PR 4's epoch-validation callback: validation now " +
+			"happens outside the critical section).",
+	},
+	{
+		Name:   "dsdb.db",
+		Pkg:    "repro/dsdb",
+		Type:   "DB",
+		Field:  "mu",
+		Before: nil,
+		Doc:    "dsdb.DB session-default mutex (tracer, parallelism); a leaf.",
+	},
+}
+
+// frame latch: the buffer pool's per-frame IO latch is channel-based
+// (frame.ready), not a mutex, so it cannot be tracked by type — its
+// place in the hierarchy (after buffer.pool, before storage.store) is
+// enforced dynamically by the pool's loading/flushing protocol and
+// documented here for the avoidance of doubt.
+
+// ByName returns the lock named n, or nil.
+func ByName(n string) *Lock {
+	for i := range Table {
+		if Table[i].Name == n {
+			return &Table[i]
+		}
+	}
+	return nil
+}
+
+// PkgMatches reports whether a package path is the lock's declaring
+// package: the full path, or a bare path equal to its last element
+// (analyzer testdata stand-ins).
+func (l *Lock) PkgMatches(pkgPath string) bool {
+	return pkgPath == l.Pkg || pkgPath == path.Base(l.Pkg)
+}
+
+// Validate checks the table's internal consistency: unique names,
+// resolvable Before edges, and acyclicity. It returns the locks in a
+// topological order (outermost first) so callers can print the
+// hierarchy, or an error naming the cycle.
+func Validate() ([]string, error) {
+	seen := make(map[string]bool, len(Table))
+	for i := range Table {
+		l := &Table[i]
+		if l.Name == "" || l.Pkg == "" || l.Type == "" {
+			return nil, fmt.Errorf("lockrank: entry %d missing name/pkg/type", i)
+		}
+		if seen[l.Name] {
+			return nil, fmt.Errorf("lockrank: duplicate lock name %q", l.Name)
+		}
+		seen[l.Name] = true
+		if l.Field == "" && !l.Internal && len(l.AcquireExcl)+len(l.AcquireShared) == 0 {
+			return nil, fmt.Errorf("lockrank: %s has neither a mutex field nor latch methods", l.Name)
+		}
+	}
+	for i := range Table {
+		for _, b := range Table[i].Before {
+			if !seen[b] {
+				return nil, fmt.Errorf("lockrank: %s: unknown Before edge %q", Table[i].Name, b)
+			}
+		}
+	}
+	// Kahn's algorithm: the edges must form a DAG.
+	indeg := make(map[string]int, len(Table))
+	for i := range Table {
+		indeg[Table[i].Name] += 0
+		for _, b := range Table[i].Before {
+			indeg[b]++
+		}
+	}
+	var queue, order []string
+	for i := range Table { // table order keeps the result deterministic
+		if indeg[Table[i].Name] == 0 {
+			queue = append(queue, Table[i].Name)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, b := range ByName(n).Before {
+			if indeg[b]--; indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		}
+	}
+	if len(order) != len(Table) {
+		var cyc []string
+		for n, d := range indeg {
+			if d > 0 {
+				cyc = append(cyc, n)
+			}
+		}
+		return nil, fmt.Errorf("lockrank: Before edges contain a cycle through %s", strings.Join(cyc, ", "))
+	}
+	return order, nil
+}
+
+// reach is the transitive closure of Before, built on first use.
+var reach map[string]map[string]bool
+
+func closure() map[string]map[string]bool {
+	if reach != nil {
+		return reach
+	}
+	r := make(map[string]map[string]bool, len(Table))
+	var visit func(from string, n string)
+	visit = func(from, n string) {
+		for _, b := range ByName(n).Before {
+			if !r[from][b] {
+				r[from][b] = true
+				visit(from, b)
+			}
+		}
+	}
+	for i := range Table {
+		r[Table[i].Name] = make(map[string]bool)
+		visit(Table[i].Name, Table[i].Name)
+	}
+	reach = r
+	return r
+}
+
+// MayAcquire reports whether a goroutine holding `held` (in heldMode)
+// may acquire `next` (in nextMode): next must be strictly inner to
+// held in the transitive order, or the same lock reacquired shared
+// under SharedReentrant.
+func MayAcquire(held string, heldMode Mode, next string, nextMode Mode) bool {
+	if held == next {
+		l := ByName(held)
+		return l != nil && l.SharedReentrant && heldMode == Shared && nextMode == Shared
+	}
+	return closure()[held][next]
+}

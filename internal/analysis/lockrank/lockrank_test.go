@@ -1,0 +1,168 @@
+package lockrank
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTableIsDAG pins the meta-invariant the whole suite leans on: the
+// declared Before edges form a DAG, so "acquired out of order" is
+// well-defined.
+func TestTableIsDAG(t *testing.T) {
+	order, err := Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(Table) {
+		t.Fatalf("topological order has %d locks, table has %d", len(order), len(Table))
+	}
+	t.Logf("lock hierarchy (outermost first): %s", strings.Join(order, " -> "))
+}
+
+func TestMayAcquire(t *testing.T) {
+	cases := []struct {
+		held     string
+		heldMode Mode
+		next     string
+		nextMode Mode
+		want     bool
+	}{
+		{"engine.latch", Shared, "buffer.pool", Exclusive, true},
+		{"engine.latch", Exclusive, "wal.writer", Exclusive, true},
+		{"engine.closeMu", Exclusive, "storage.store", Exclusive, true}, // transitive via engine.latch
+		{"buffer.pool", Exclusive, "storage.store", Exclusive, true},
+		{"buffer.pool", Exclusive, "engine.latch", Shared, false}, // out of order
+		{"storage.store", Exclusive, "buffer.pool", Exclusive, false},
+		{"engine.latch", Shared, "engine.latch", Shared, true},        // reader-preferring: nested reads
+		{"engine.latch", Shared, "engine.latch", Exclusive, false},    // read-to-write upgrade deadlocks
+		{"engine.latch", Exclusive, "engine.latch", Exclusive, false}, // exclusive reentry deadlocks
+		{"buffer.pool", Exclusive, "buffer.pool", Exclusive, false},
+	}
+	for _, c := range cases {
+		if got := MayAcquire(c.held, c.heldMode, c.next, c.nextMode); got != c.want {
+			t.Errorf("MayAcquire(%s/%s -> %s/%s) = %v, want %v",
+				c.held, c.heldMode, c.next, c.nextMode, got, c.want)
+		}
+	}
+}
+
+// TestEveryMutexBearingTypeIsRanked walks every non-test source file of
+// the packages the hierarchy spans (internal/db/... plus the dsdb
+// packages the table covers) and checks that each struct field of type
+// sync.Mutex or sync.RWMutex belongs to a (type, field) pair declared
+// in the table. A new lock added anywhere in the kernel fails this
+// test until it is ranked — which is the point.
+func TestEveryMutexBearingTypeIsRanked(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []string{
+		filepath.Join(root, "internal", "db"),
+		filepath.Join(root, "dsdb", "qcache"),
+	}
+	// dsdb's own root package (not its subpackages: server/client/load
+	// mutexes guard per-connection protocol state above the engine and
+	// are outside the kernel hierarchy).
+	dsdbFiles, err := filepath.Glob(filepath.Join(root, "dsdb", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var files []string
+	for _, r := range roots {
+		err := filepath.WalkDir(r, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range dsdbFiles {
+		if !strings.HasSuffix(p, "_test.go") {
+			files = append(files, p)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("found no kernel source files; wrong working directory?")
+	}
+
+	fset := token.NewFileSet()
+	checked := 0
+	for _, p := range files {
+		f, err := parser.ParseFile(fset, p, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgPath := "repro/" + filepath.ToSlash(strings.TrimPrefix(filepath.Dir(p), root+string(os.PathSeparator)))
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !isSyncMutex(fld.Type) {
+					continue
+				}
+				for _, name := range fld.Names {
+					checked++
+					if !ranked(pkgPath, ts.Name.Name, name.Name) {
+						t.Errorf("%s: %s.%s (%s) is a mutex with no lockrank entry — add it to the table",
+							fset.Position(fld.Pos()), ts.Name.Name, name.Name, pkgPath)
+					}
+				}
+				if len(fld.Names) == 0 {
+					t.Errorf("%s: %s embeds a bare mutex — name it and rank it", fset.Position(fld.Pos()), ts.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+	if checked == 0 {
+		t.Fatal("found no mutex fields at all; the scan is broken")
+	}
+	t.Logf("checked %d mutex fields across %d files", checked, len(files))
+}
+
+func isSyncMutex(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+func ranked(pkgPath, typ, field string) bool {
+	for i := range Table {
+		l := &Table[i]
+		if l.PkgMatches(pkgPath) && l.Type == typ && l.Field == field {
+			return true
+		}
+	}
+	return false
+}

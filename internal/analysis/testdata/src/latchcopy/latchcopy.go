@@ -1,0 +1,25 @@
+// Package latchcopy seeds a by-value copy of the engine's rwLatch so
+// the suite proves the vet copylocks pass (part of the dsdblint
+// analyzer set) catches it.
+package latchcopy
+
+import "sync"
+
+type rwLatch struct {
+	mu      sync.Mutex
+	readers int
+}
+
+type DB struct {
+	latch rwLatch
+}
+
+// snapshot copies the latch by value: the copy's mutex shares no
+// state with the original, which silently breaks mutual exclusion.
+func snapshot(l rwLatch) int { // want "snapshot passes lock by value: latchcopy.rwLatch contains sync.Mutex"
+	return l.readers
+}
+
+func inspect(db *DB) int {
+	return snapshot(db.latch) // want "call of snapshot copies lock value: latchcopy.rwLatch contains sync.Mutex"
+}

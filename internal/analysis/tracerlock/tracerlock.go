@@ -1,0 +1,164 @@
+// Package tracerlock defines an analyzer that keeps instrumentation
+// and user callbacks out of the kernel's critical sections.
+//
+// The invariant: while a NoTracer-ranked mutex is held (the buffer
+// pool's, the result cache's), the code must not emit a probe event or
+// invoke any caller-supplied function. A tracer is arbitrary user
+// code; one that re-enters the pool — a counting tracer that samples
+// pool stats, a hook that issues a query — deadlocks on the very mutex
+// its caller holds. This is the PR 3 regression class (the hit-path
+// tracer emission that serialized and could deadlock concurrent
+// sessions) and the PR 4 one (the result cache validating epochs
+// through a caller-supplied closure inside its mutex).
+//
+// Like lockorder, the analysis is modular: functions that emit probe
+// events, directly or transitively through static calls, export a
+// fact, so a call chain that ends in an Emit is flagged at the call
+// made under the lock.
+package tracerlock
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/lintutil"
+)
+
+const name = "tracerlock"
+
+// probePkg is the instrumentation package; testdata stand-ins use a
+// bare package with the same base name.
+const probePkg = "repro/internal/db/probe"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      name,
+	Doc:       "forbid probe emission and user callbacks while a NoTracer-ranked mutex is held",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{new(emitsFact)},
+	Run:       run,
+}
+
+// emitsFact marks a function that may emit a probe event, directly or
+// through the static calls it makes.
+type emitsFact struct{}
+
+func (*emitsFact) AFact() {}
+
+func (*emitsFact) String() string { return "emitsProbeEvents" }
+
+// isEmit reports whether callee is a probe-emission entry point: any
+// method named Emit whose receiver lives in the probe package (the
+// Tracer interface method, and every concrete tracer's Emit).
+func isEmit(callee *types.Func) bool {
+	if callee == nil || callee.Name() != "Emit" || callee.Pkg() == nil {
+		return false
+	}
+	p := callee.Pkg().Path()
+	return p == probePkg || p == path.Base(probePkg)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := lintutil.NewAllower(pass, name)
+
+	type fnInfo struct {
+		obj     *types.Func
+		body    *ast.BlockStmt
+		emits   bool
+		callees map[*types.Func]bool
+	}
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		fi := &fnInfo{obj: obj, body: fd.Body, callees: make(map[*types.Func]bool)}
+		lintutil.WalkFunc(pass.TypesInfo, fd.Body, lintutil.Callbacks{
+			OnCall: func(_ *ast.CallExpr, callee *types.Func, _ []lintutil.Held) {
+				if isEmit(callee) {
+					fi.emits = true
+				} else if callee != nil {
+					fi.callees[callee] = true
+					var fact emitsFact
+					if byObj[callee] == nil && pass.ImportObjectFact(callee, &fact) {
+						fi.emits = true
+					}
+				}
+			},
+		})
+		fns = append(fns, fi)
+		byObj[obj] = fi
+	})
+
+	// Propagate emission through same-package static calls.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if fi.emits {
+				continue
+			}
+			for callee := range fi.callees {
+				if cf := byObj[callee]; cf != nil && cf.emits {
+					fi.emits = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fi := range fns {
+		if fi.emits {
+			pass.ExportObjectFact(fi.obj, &emitsFact{})
+		}
+	}
+
+	// Diagnostic walk: under a NoTracer lock, no emission and no
+	// dynamic call.
+	noTracerHeld := func(held []lintutil.Held) *lintutil.Held {
+		for i := range held {
+			if held[i].Lock.NoTracer {
+				return &held[i]
+			}
+		}
+		return nil
+	}
+	for _, fi := range fns {
+		lintutil.WalkFunc(pass.TypesInfo, fi.body, lintutil.Callbacks{
+			OnCall: func(call *ast.CallExpr, callee *types.Func, held []lintutil.Held) {
+				h := noTracerHeld(held)
+				if h == nil {
+					return
+				}
+				switch {
+				case isEmit(callee):
+					allow.Reportf(call.Pos(), "probe event emitted while %s is held: %s", h.Lock.Name, h.Lock.Doc)
+				case callee == nil:
+					allow.Reportf(call.Pos(), "call through a function value or interface while %s is held may run a user callback under the lock: %s", h.Lock.Name, h.Lock.Doc)
+				default:
+					emits := false
+					if cf := byObj[callee]; cf != nil {
+						emits = cf.emits
+					} else {
+						var fact emitsFact
+						emits = pass.ImportObjectFact(callee, &fact)
+					}
+					if emits {
+						allow.Reportf(call.Pos(), "call to %s emits probe events while %s is held: %s", callee.Name(), h.Lock.Name, h.Lock.Doc)
+					}
+				}
+			},
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package tracerlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/tracerlock"
+)
+
+func TestTracerLock(t *testing.T) {
+	analyzertest.Run(t, "testdata", tracerlock.Analyzer, "probe", "buffer")
+}

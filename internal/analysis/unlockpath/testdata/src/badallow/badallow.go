@@ -1,0 +1,8 @@
+// Package badallow seeds a malformed escape hatch: the directive
+// names the analyzer but omits its reason, which is itself reported.
+package badallow
+
+func helper() {
+	x := 1 //lint:allow unlockpath
+	_ = x
+}

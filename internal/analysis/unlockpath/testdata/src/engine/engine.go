@@ -1,0 +1,91 @@
+// Package engine is a testdata stand-in exercising release-on-all-
+// paths checking for both the custom latch surface and ranked
+// mutexes.
+package engine
+
+import "sync"
+
+type rwLatch struct {
+	mu sync.Mutex
+}
+
+func (l *rwLatch) lock()    { l.mu.Lock() }
+func (l *rwLatch) unlock()  { l.mu.Unlock() }
+func (l *rwLatch) rlock()   { l.mu.Lock() }
+func (l *rwLatch) runlock() { l.mu.Unlock() }
+
+type DB struct {
+	closeMu sync.Mutex
+	latch   *rwLatch
+	closed  bool
+}
+
+func work() {}
+
+// legalDefer: a deferred release covers every exit, panics included.
+func (db *DB) legalDefer() {
+	db.latch.lock()
+	defer db.latch.unlock()
+	work()
+}
+
+// legalBothPaths releases explicitly on each arm.
+func (db *DB) legalBothPaths(cond bool) {
+	db.latch.rlock()
+	if cond {
+		db.latch.runlock()
+		return
+	}
+	db.latch.runlock()
+}
+
+// legalHandOverHand: two disjoint critical sections in one function.
+func (db *DB) legalHandOverHand() {
+	db.closeMu.Lock()
+	db.closeMu.Unlock()
+	work()
+	db.closeMu.Lock()
+	db.closeMu.Unlock()
+}
+
+// legalLoop: the critical section is contained in the loop body.
+func (db *DB) legalLoop(n int) {
+	for i := 0; i < n; i++ {
+		db.closeMu.Lock()
+		db.closeMu.Unlock()
+	}
+}
+
+func (db *DB) badEarlyReturn(cond bool) {
+	db.latch.lock() // want "engine.latch acquired .exclusive. but not released on every path out of badEarlyReturn"
+	if cond {
+		return
+	}
+	db.latch.unlock()
+}
+
+// badModeMismatch releases the wrong mode: an exclusive unlock does
+// not release a shared hold.
+func (db *DB) badModeMismatch() {
+	db.latch.rlock() // want "engine.latch acquired .shared. but not released on every path out of badModeMismatch"
+	db.latch.unlock()
+}
+
+func (db *DB) badForgotten() bool {
+	db.closeMu.Lock() // want "engine.closeMu acquired .exclusive. but not released on every path out of badForgotten"
+	if db.closed {
+		return false
+	}
+	db.closed = true
+	db.closeMu.Unlock()
+	return true
+}
+
+// BeginRead escapes its latch by design: the caller releases through
+// the returned closure.
+//
+//lint:allow unlockpath the shared latch escapes to the caller as the release closure
+func (db *DB) BeginRead() func() {
+	db.latch.rlock()
+	return db.latch.runlock
+}

@@ -1,0 +1,193 @@
+// Package unlockpath defines an analyzer that checks that every
+// acquisition of a ranked lock is released on every control-flow path
+// out of the acquiring function.
+//
+// The vet copylocks/lostcancel family knows nothing about the engine's
+// custom rwLatch, whose lock/rlock have no LockGuard type to lean on;
+// buffer-pool code also releases its pool mutex hand-over-hand across
+// IO sections rather than by defer, which is exactly where an
+// early-return leak slips in. The check: for each acquire, either a
+// matching deferred release exists in the function (which also covers
+// panic unwinding), or every CFG path from the acquisition reaches a
+// matching release before the function exits. Functions that
+// intentionally escape a lock — BeginRead returns its release as a
+// closure — carry a function-scope //lint:allow with the reason.
+package unlockpath
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"repro/internal/analysis/lintutil"
+	"repro/internal/analysis/lockrank"
+)
+
+const name = "unlockpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "check that ranked locks are released on all paths out of the acquiring function",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// lockKey identifies a lock instance within one function: the ranked
+// lock plus the mode it was acquired in. (Distinct instances of the
+// same ranked type within one function are rare enough that keying by
+// rank name keeps the check simple; the codebase has none.)
+type lockKey struct {
+	name string
+	mode lockrank.Mode
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	allow := lintutil.NewAllower(pass, name)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		g := cfgs.FuncDecl(fd)
+		if g == nil || len(g.Blocks) == 0 {
+			return
+		}
+
+		// Deferred releases anywhere in the function cover their lock:
+		// defer runs on every exit, including panics.
+		deferred := make(map[lockKey]bool)
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			if x, ok := x.(*ast.FuncLit); ok && x != nil {
+				return false // a nested function's defers are its own
+			}
+			ds, ok := x.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if ev, ok := lintutil.ClassifyCall(pass.TypesInfo, ds.Call); ok && ev.Op == lintutil.Release {
+				deferred[lockKey{ev.Lock.Name, ev.Mode}] = true
+			}
+			return true
+		})
+
+		for _, b := range g.Blocks {
+			for i, node := range b.Nodes {
+				for _, ev := range events(pass, node) {
+					if ev.Op != lintutil.Acquire {
+						continue
+					}
+					k := lockKey{ev.Lock.Name, ev.Mode}
+					if deferred[k] {
+						continue
+					}
+					if leaks(pass, g, b, i, node, ev) {
+						allow.Reportf(ev.Call.Pos(),
+							"%s acquired (%s) but not released on every path out of %s: add the missing release or a deferred one",
+							ev.Lock.Name, ev.Mode, fd.Name.Name)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// events returns the ranked-lock operations syntactically inside one
+// CFG node, in source order. Deferred releases are excluded — they do
+// not release at this program point — and function literals are
+// opaque.
+func events(pass *analysis.Pass, node ast.Node) []lintutil.Event {
+	var out []lintutil.Event
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if ev, ok := lintutil.ClassifyCall(pass.TypesInfo, x); ok {
+				out = append(out, ev)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// leaks reports whether some path from the acquisition at block b,
+// node index i, reaches a function exit without a matching release.
+func leaks(pass *analysis.Pass, g *cfg.CFG, b *cfg.Block, i int, acqNode ast.Node, acq lintutil.Event) bool {
+	k := lockKey{acq.Lock.Name, acq.Mode}
+
+	// Rest of the acquiring node after the acquire call itself: a
+	// statement like `if err := l.lock(); ...` cannot release, so only
+	// subsequent events in the same node matter. events() returns
+	// source order; take everything after the acquire.
+	rest := events(pass, acqNode)
+	for idx, ev := range rest {
+		if ev.Call == acq.Call {
+			rest = rest[idx+1:]
+			break
+		}
+	}
+	if releasedIn(rest, k) {
+		return false
+	}
+	for _, node := range b.Nodes[i+1:] {
+		if releasedIn(events(pass, node), k) {
+			return false
+		}
+	}
+
+	// BFS over successors: held on entry; released blocks close their
+	// paths, exit blocks reached while held are leaks.
+	seen := make(map[*cfg.Block]bool)
+	queue := append([]*cfg.Block(nil), b.Succs...)
+	if len(b.Succs) == 0 {
+		return b.Live // fell off the end of a live block while held
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		released := false
+		for _, node := range blk.Nodes {
+			if releasedIn(events(pass, node), k) {
+				released = true
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		if len(blk.Succs) == 0 {
+			if blk.Live || len(blk.Nodes) > 0 {
+				return true
+			}
+			// Dead or synthetic empty exit (e.g. unreachable fallthrough):
+			// not a real path.
+			continue
+		}
+		queue = append(queue, blk.Succs...)
+	}
+	return false
+}
+
+func releasedIn(evs []lintutil.Event, k lockKey) bool {
+	for _, ev := range evs {
+		if ev.Op == lintutil.Release && ev.Lock.Name == k.name && ev.Mode == k.mode {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package unlockpath_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/unlockpath"
+)
+
+func TestUnlockPath(t *testing.T) {
+	analyzertest.Run(t, "testdata", unlockpath.Analyzer, "engine")
+}
+
+// TestBareAllowDirectiveReported pins the escape hatch's own
+// contract: a //lint:allow with no reason is a diagnostic, not a
+// suppression.
+func TestBareAllowDirectiveReported(t *testing.T) {
+	diags := analyzertest.Diagnostics(t, "testdata", unlockpath.Analyzer, "badallow")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the malformed-directive one: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "missing its reason") {
+		t.Fatalf("unexpected diagnostic: %s", diags[0].Message)
+	}
+}

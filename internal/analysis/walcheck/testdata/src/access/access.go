@@ -1,0 +1,16 @@
+// Package access is a testdata stand-in for the heap access layer.
+package access
+
+type Heap struct {
+	rows int
+}
+
+func (h *Heap) Insert(rec []byte) (uint64, error) {
+	h.rows++
+	return uint64(h.rows), nil
+}
+
+func (h *Heap) InsertTuple(vals ...any) (uint64, error) {
+	h.rows++
+	return uint64(h.rows), nil
+}

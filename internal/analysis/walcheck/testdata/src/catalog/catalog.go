@@ -1,0 +1,22 @@
+// Package catalog is a testdata stand-in for the catalog.
+package catalog
+
+import "sync"
+
+type Catalog struct {
+	mu     sync.RWMutex
+	tables []string
+}
+
+func (c *Catalog) AddTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables = append(c.tables, name)
+	return nil
+}
+
+func (c *Catalog) AddIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return nil
+}

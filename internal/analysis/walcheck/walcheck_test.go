@@ -1,0 +1,12 @@
+package walcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/walcheck"
+)
+
+func TestWalCheck(t *testing.T) {
+	analyzertest.Run(t, "testdata", walcheck.Analyzer, "wal", "access", "catalog", "engine")
+}

@@ -169,16 +169,20 @@ func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 		tr.Emit(probe.BufGetHit)
 		return b, nil
 	}
-	tr.Emit(probe.BufGetEnter)
-	tr.Emit(probe.BufTableLookup)
+	// Miss-path instrumentation is recorded here and emitted only once
+	// the pool mutex drops: a tracer is user code, and user code under
+	// m.mu can re-enter the pool and deadlock (the PR 3 class — now
+	// enforced statically by dsdblint's tracerlock).
+	evs := append(make([]probe.ID, 0, 8), probe.BufGetEnter, probe.BufTableLookup)
 	m.misses.Inc()
-	tr.Emit(probe.BufGetMiss)
+	evs = append(evs, probe.BufGetMiss)
 	// Claim a victim frame under the pool mutex: the clock sweep does
 	// no IO, it just picks the frame, publishes the claim under the new
 	// key and remembers what must be flushed.
-	i, err := m.evict(tr)
+	i, err := m.evict(&evs)
 	if err != nil {
 		m.mu.Unlock()
+		emitAll(tr, evs)
 		return Buf{}, err
 	}
 	f := &m.frames[i]
@@ -206,6 +210,7 @@ func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	// absent from the lookup table.
 	waitFlush := m.flushing[k]
 	m.mu.Unlock()
+	emitAll(tr, evs)
 
 	// IO under the frame latch only: evict-flush of the dirty victim,
 	// then the read that fills the frame. Other frames' misses proceed
@@ -312,11 +317,11 @@ func (m *Manager) Release(b Buf, dirty bool) {
 // evict picks a victim frame with the clock algorithm
 // (StrategyGetBuffer) and unmaps it, without doing any IO: a dirty
 // victim's flush happens in Get under the frame latch, after the pool
-// mutex drops. The caller holds m.mu. Loading frames are pinned by
-// their loader, so the pins check skips them.
-func (m *Manager) evict(tr probe.Tracer) (int, error) {
-	tr = probe.Or(tr)
-	tr.Emit(probe.BufClockEnter)
+// mutex drops. The caller holds m.mu, so the sweep's probe events are
+// appended to evs for the caller to emit after unlocking. Loading
+// frames are pinned by their loader, so the pins check skips them.
+func (m *Manager) evict(evs *[]probe.ID) (int, error) {
+	*evs = append(*evs, probe.BufClockEnter)
 	n := len(m.frames)
 	for sweep := 0; sweep < 2*n; sweep++ {
 		i := m.hand
@@ -325,23 +330,31 @@ func (m *Manager) evict(tr probe.Tracer) (int, error) {
 		if f.pins > 0 {
 			// Covers loading frames too (their loader holds a pin), and
 			// failed-load frames still pinned by draining waiters.
-			tr.Emit(probe.BufClockSkip)
+			*evs = append(*evs, probe.BufClockSkip)
 			continue
 		}
 		if !f.valid {
-			tr.Emit(probe.BufClockTake)
+			*evs = append(*evs, probe.BufClockTake)
 			return i, nil
 		}
 		if f.ref {
 			f.ref = false
-			tr.Emit(probe.BufClockSkip)
+			*evs = append(*evs, probe.BufClockSkip)
 			continue
 		}
 		delete(m.lookup, f.key)
-		tr.Emit(probe.BufClockTake)
+		*evs = append(*evs, probe.BufClockTake)
 		return i, nil
 	}
 	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// emitAll replays probe events recorded while the pool mutex was
+// held; callers invoke it only after releasing m.mu.
+func emitAll(tr probe.Tracer, evs []probe.ID) {
+	for _, e := range evs {
+		tr.Emit(e)
+	}
 }
 
 // FlushAll writes every dirty frame back to storage (used after bulk

@@ -149,6 +149,8 @@ func Open(frames int) *DB {
 // Readers never wait behind a merely queued writer, so nested reads
 // (a query issued while another result set is open) are safe; do not
 // call Insert or DDL from a goroutine that still holds a read latch.
+//
+//lint:allow unlockpath the latch deliberately escapes as the returned release closure
 func (db *DB) BeginRead() func() {
 	db.latch.rlock()
 	return db.latch.runlock

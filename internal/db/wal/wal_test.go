@@ -134,7 +134,9 @@ func TestReplayFromSeqSkipsStaleSegments(t *testing.T) {
 	if err := w.Append(Insert{Table: "stale", Tuple: []byte{9}}); err != nil {
 		t.Fatal(err)
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	got, _ := replayAll(t, dir, 1)
 	for _, r := range got {
 		if ins, ok := r.(Insert); ok && ins.Table == "stale" {
@@ -184,7 +186,9 @@ func TestTornTailRecoversCommittedPrefix(t *testing.T) {
 	if err := w.Append(Insert{Table: "t", Tuple: []byte{42}}); err != nil {
 		t.Fatal(err)
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	got, _ = replayAll(t, dir, 1)
 	if len(got) != len(recs) {
 		t.Fatalf("after tail append: replayed %d records, want %d", len(got), len(recs))
