@@ -6,8 +6,17 @@
 //
 //	dsdbd -addr 127.0.0.1:5454 -sf 0.002
 //	dsdbd -addr :5454 -hash -max-conns 128 -query-timeout 30s
+//	dsdbd -addr :5454 -write-timeout 5s -idle-timeout 10m  # hostile-client bounds
 //	dsdbd -addr :5454 -result-cache-bytes 67108864   # 64MB result cache
 //	dsdbd -addr :5454 -data-dir /var/lib/dsdb        # durable; restarts warm-start
+//
+// The write timeout (default 30s) is the slow-client liveness bound:
+// a client that stops reading its result stream is disconnected when
+// a frame write exceeds it, cancelling the query so stalled readers
+// cannot wedge writers. On shutdown the daemon logs its serving
+// counters (conns, slow kills, queries, rows, bytes); a live server
+// answers the same counters over the wire ("show stats", or dsload
+// -server-stats).
 //
 // With -data-dir the database is durable: the first start builds the
 // TPC-D dataset, checkpoints it into the directory and write-ahead
@@ -43,6 +52,8 @@ func main() {
 	frames := flag.Int("frames", 2048, "buffer pool frames")
 	maxConns := flag.Int("max-conns", 64, "connection limit")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-frame-write deadline; a client that stops reading past it is disconnected (0 = unbounded, liveness-unsafe)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close sessions idle between queries for this long (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget before force-closing")
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
 	cacheTTL := flag.Duration("result-cache-ttl", 0, "result cache entry TTL (0 = no expiry)")
@@ -81,7 +92,9 @@ func main() {
 
 	srv := server.New(db,
 		server.WithMaxConns(*maxConns),
-		server.WithQueryTimeout(*queryTimeout))
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithWriteTimeout(*writeTimeout),
+		server.WithIdleTimeout(*idleTimeout))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -97,6 +110,11 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("dsdbd: forced shutdown: %v", err)
 		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "dsdbd: served %d conns (%d refused, %d slow-killed, %d idle-killed), %d queries (%d failed, %d cancelled, %d cache hits), %d rows / %d bytes streamed\n",
+			st.TotalConns, st.RefusedConns, st.SlowClientKills, st.IdleKills,
+			st.Queries, st.QueryErrors, st.CancelledQueries, st.CacheHits,
+			st.RowsStreamed, st.BytesWritten)
 		if st, ok := db.ResultCacheStats(); ok {
 			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations, %d expirations, %d admission rejects\n",
 				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations, st.Expirations, st.AdmissionRejects)

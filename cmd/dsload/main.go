@@ -12,6 +12,17 @@
 //	dsload -addr 127.0.0.1:5454 -clients 8 -rounds 5 -warmup 1 -mix test
 //	dsload -addr 127.0.0.1:5454 -clients 2 -rounds 1 -mix 3,4,6
 //	dsload -addr 127.0.0.1:5454 -clients 4 -arrival-rate 200 -mix train
+//	dsload -addr 127.0.0.1:5454 -scenario slowreader -slow-clients 2  # liveness probe
+//	dsload -addr 127.0.0.1:5454 -scenario zipf -zipf-s 2 -server-stats
+//	dsload -addr 127.0.0.1:5454 -arrival-rate 200 -scenario burst -burst-factor 8
+//
+// The -scenario flag layers adversarial traffic over the mix:
+// slowreader adds stalled connections and reports how many the
+// server's write timeout killed, zipf draws the mix Zipfian with the
+// first query as the hot key, and burst compresses the open-loop
+// schedule into periodic bursts at the same average rate.
+// -server-stats fetches the server's counter snapshot (a wire Stats
+// frame) after the run.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"os"
 	"time"
 
+	"repro/dsdb/client"
 	"repro/dsdb/load"
 )
 
@@ -36,6 +48,13 @@ func main() {
 	wait := flag.Duration("wait-ready", 15*time.Second, "how long to retry the first connection while the server loads")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none)")
 	arrivalRate := flag.Float64("arrival-rate", 0, "open-loop aggregate Poisson arrival rate in queries/s (0 = closed loop)")
+	scenario := flag.String("scenario", "", "adversarial scenario: slowreader, zipf, or burst (empty = plain mix)")
+	slowClients := flag.Int("slow-clients", 0, "slowreader: stalled connections to add (0 = default 2)")
+	slowKillWait := flag.Duration("slow-kill-wait", 0, "slowreader: how long to wait for the server to kill stalled readers (0 = default 15s)")
+	zipfS := flag.Float64("zipf-s", 0, "zipf: skew exponent > 1 (0 = default 1.5)")
+	burstFactor := flag.Float64("burst-factor", 0, "burst: rate multiplier during bursts (0 = default 8)")
+	burstPeriod := flag.Duration("burst-period", 0, "burst: burst cycle period (0 = default 1s)")
+	serverStats := flag.Bool("server-stats", false, "after the run, fetch and print the server's counter snapshot")
 	flag.Parse()
 
 	mix, err := load.ParseMix(*mixFlag)
@@ -51,17 +70,38 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dsload: %d clients × %d+%d rounds of mix %s against %s\n",
 		*clients, *warmup, *rounds, mix.Name, *addr)
 	sum, err := load.Run(ctx, load.Params{
-		Addr:        *addr,
-		Clients:     *clients,
-		Rounds:      *rounds,
-		Warmup:      *warmup,
-		Mix:         mix,
-		Seed:        *seed,
-		WaitReady:   *wait,
-		ArrivalRate: *arrivalRate,
+		Addr:         *addr,
+		Clients:      *clients,
+		Rounds:       *rounds,
+		Warmup:       *warmup,
+		Mix:          mix,
+		Seed:         *seed,
+		WaitReady:    *wait,
+		ArrivalRate:  *arrivalRate,
+		Scenario:     *scenario,
+		SlowClients:  *slowClients,
+		SlowKillWait: *slowKillWait,
+		ZipfS:        *zipfS,
+		BurstFactor:  *burstFactor,
+		BurstPeriod:  *burstPeriod,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(sum.Report())
+	if *serverStats {
+		db, err := client.Dial(*addr)
+		if err != nil {
+			log.Fatalf("dsload: -server-stats: %v", err)
+		}
+		st, err := db.ServerStats()
+		db.Close()
+		if err != nil {
+			log.Fatalf("dsload: -server-stats: %v", err)
+		}
+		fmt.Println("server stats:")
+		for _, p := range st.Pairs {
+			fmt.Printf("  %s=%d\n", p.Name, p.Value)
+		}
+	}
 }

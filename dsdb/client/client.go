@@ -182,6 +182,65 @@ func (db *DB) SessionID() uint32 {
 	return db.idle[len(db.idle)-1].sessionID
 }
 
+// statsTimeout bounds the whole ServerStats exchange.
+const statsTimeout = 10 * time.Second
+
+// ServerStats asks the server for its counter snapshot via the wire
+// Stats frame and returns the raw name/value pairs. The exchange runs
+// under a fixed socket deadline, like the handshake, so a wedged
+// server cannot hang the caller.
+func (db *DB) ServerStats() (wire.Stats, error) {
+	c, pooled, err := db.get()
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	st, err := db.statsOn(c)
+	if err != nil && pooled && !isServerError(err) {
+		// Stale pooled connection: one retry on a fresh dial.
+		c, derr := db.dial()
+		if derr != nil {
+			return wire.Stats{}, err
+		}
+		return db.statsOn(c)
+	}
+	return st, err
+}
+
+// statsOn runs the Stats exchange on one connection.
+func (db *DB) statsOn(c *conn) (wire.Stats, error) {
+	c.nc.SetDeadline(time.Now().Add(statsTimeout))
+	defer c.nc.SetDeadline(time.Time{})
+	if err := c.send(wire.KindStats, nil); err != nil {
+		c.close()
+		return wire.Stats{}, err
+	}
+	fr, err := c.read()
+	if err != nil {
+		c.close()
+		return wire.Stats{}, err
+	}
+	switch fr.Kind {
+	case wire.KindStatsResult:
+		st, err := wire.DecodeStats(fr.Payload)
+		if err != nil {
+			c.close()
+			return wire.Stats{}, err
+		}
+		db.put(c)
+		return st, nil
+	case wire.KindError:
+		ef, derr := wire.DecodeError(fr.Payload)
+		c.close()
+		if derr != nil {
+			return wire.Stats{}, derr
+		}
+		return wire.Stats{}, ef
+	default:
+		c.close()
+		return wire.Stats{}, fmt.Errorf("client: ServerStats: unexpected %s frame", fr.Kind)
+	}
+}
+
 // Query executes SQL on the server and streams the result.
 func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
 	return db.QueryLabeled(ctx, "", query)

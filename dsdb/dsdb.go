@@ -405,6 +405,74 @@ func (db *DB) TableEpoch(table string) uint64 {
 	return db.eng.TableEpoch(table)
 }
 
+// TableStat describes one table for introspection (the server's
+// SHOW TABLES virtual table is built on it).
+type TableStat struct {
+	// Name is the table name.
+	Name string
+	// Rows is the loaded cardinality.
+	Rows int
+	// Epoch is the table's write epoch (see TableEpoch).
+	Epoch uint64
+	// Indexes is the number of indices on the table.
+	Indexes int
+}
+
+// TableStats snapshots every table in catalog order: name,
+// cardinality, write epoch, index count. The snapshot is taken under
+// the shared engine latch, so it is consistent with respect to
+// writers.
+func (db *DB) TableStats() []TableStat {
+	release := db.eng.BeginRead()
+	defer release()
+	tables := db.eng.Cat.Tables()
+	out := make([]TableStat, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, TableStat{
+			Name:    t.Name,
+			Rows:    db.eng.NumRows(t.Name),
+			Epoch:   db.eng.TableEpoch(t.Name),
+			Indexes: len(t.Indexes),
+		})
+	}
+	return out
+}
+
+// PoolStats is a snapshot of the buffer pool's counters.
+type PoolStats struct {
+	// Frames is the configured pool size; Pinned counts frames
+	// currently pinned by open scans.
+	Frames, Pinned int
+	// Hits and Misses are the cumulative page-access counters.
+	Hits, Misses uint64
+}
+
+// PoolStats snapshots the buffer pool counters (all atomics or
+// pool-internal state; no engine latch is taken).
+func (db *DB) PoolStats() PoolStats {
+	hits, misses := db.eng.Buf.Stats()
+	return PoolStats{
+		Frames: db.eng.Buf.Size(),
+		Pinned: db.eng.Buf.PinnedFrames(),
+		Hits:   hits,
+		Misses: misses,
+	}
+}
+
+// WALStats is a snapshot of the write-ahead log state.
+type WALStats struct {
+	// Durable reports whether the database persists to a data dir at
+	// all; Seq is the WAL segment currently appended to (0 when not
+	// durable).
+	Durable bool
+	Seq     uint64
+}
+
+// WALStats snapshots the write-ahead log state.
+func (db *DB) WALStats() WALStats {
+	return WALStats{Durable: db.eng.Durable(), Seq: db.eng.WALSeq()}
+}
+
 // CreateTable registers a table with the given columns.
 func (db *DB) CreateTable(name string, cols ...Column) error {
 	if len(cols) == 0 {

@@ -107,6 +107,25 @@ type Params struct {
 	// scheduled arrival — queueing delay included. Warmup rounds still
 	// run closed-loop. 0 keeps the classic closed loop.
 	ArrivalRate float64
+
+	// Scenario selects an adversarial traffic mode ("" keeps the plain
+	// mix): ScenarioSlowReader, ScenarioZipf, or ScenarioBurst — see
+	// scenario.go for what each stresses.
+	Scenario string
+	// SlowClients is how many stalled connections ScenarioSlowReader
+	// adds (default 2); SlowKillWait bounds how long the run waits, at
+	// the end, for the server to disconnect them (default 15s — cover
+	// the server's write timeout).
+	SlowClients  int
+	SlowKillWait time.Duration
+	// ZipfS is ScenarioZipf's exponent (> 1, default 1.5; larger =
+	// more skew toward the first query of the mix).
+	ZipfS float64
+	// BurstFactor and BurstPeriod shape ScenarioBurst: BurstFactor×
+	// the arrival rate for 1/BurstFactor of each period (defaults 8
+	// and 1s).
+	BurstFactor float64
+	BurstPeriod time.Duration
 }
 
 // Latency summarizes a latency distribution.
@@ -143,6 +162,14 @@ type Summary struct {
 	CacheHits int
 	LatHit    Latency
 	LatMiss   Latency
+
+	// Scenario echoes Params.Scenario. For ScenarioSlowReader,
+	// SlowClients is how many stalled connections ran and SlowKilled
+	// how many the server disconnected within the kill wait — the
+	// end-to-end proof of the write timeout.
+	Scenario    string
+	SlowClients int
+	SlowKilled  int
 }
 
 // HitRatio returns the fraction of measured queries served from the
@@ -187,6 +214,9 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := validateScenario(&p); err != nil {
+		return nil, err
+	}
 
 	// Dial every session up front (retrying the first while the server
 	// warms up), so measurement never includes connection setup.
@@ -206,10 +236,41 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 		dbs[i] = db
 	}
 
-	if p.ArrivalRate > 0 {
-		return runOpen(ctx, p, dbs)
+	// Slow readers stall alongside the whole measured run: their open
+	// streams hold the engine's shared read latch until the server's
+	// write timeout kills them, which is exactly the contention the
+	// scenario wants the normal mix to feel.
+	var slows []*slowReader
+	if p.Scenario == ScenarioSlowReader {
+		var err error
+		if slows, err = startSlowReaders(p); err != nil {
+			return nil, err
+		}
 	}
 
+	var s *Summary
+	var err error
+	if p.ArrivalRate > 0 {
+		s, err = runOpen(ctx, p, dbs)
+	} else {
+		s, err = runClosed(ctx, p, dbs)
+	}
+	if err != nil {
+		for _, sr := range slows {
+			sr.nc.Close()
+		}
+		return nil, err
+	}
+	s.Scenario = p.Scenario
+	if p.Scenario == ScenarioSlowReader {
+		harvestSlowReaders(s, slows, p.SlowKillWait)
+	}
+	return s, nil
+}
+
+// runClosed drives the classic closed loop: each client issues its
+// next query when the previous one finishes.
+func runClosed(ctx context.Context, p Params, dbs []*client.DB) (*Summary, error) {
 	results := make([]clientResult, p.Clients)
 	// The first client failure cancels the whole run: the remaining
 	// clients abort their in-flight queries instead of grinding
@@ -254,11 +315,19 @@ func Run(ctx context.Context, p Params) (*Summary, error) {
 			if runCtx.Err() != nil {
 				return // another client failed during warmup
 			}
-			for round := 0; round < p.Rounds; round++ {
-				for _, qn := range order {
-					if !run(qn, true) {
-						return
-					}
+			// The measured sequence is Rounds passes over the order —
+			// or, under ScenarioZipf, the same number of skewed draws.
+			seq := make([]int, 0, p.Rounds*len(order))
+			if p.Scenario == ScenarioZipf {
+				seq = zipfSeq(p.Mix.Numbers, p.Seed, i, p.Rounds*len(p.Mix.Numbers), p.ZipfS)
+			} else {
+				for round := 0; round < p.Rounds; round++ {
+					seq = append(seq, order...)
+				}
+			}
+			for _, qn := range seq {
+				if !run(qn, true) {
+					return
 				}
 			}
 		}(i)
@@ -413,11 +482,33 @@ func runOpen(ctx context.Context, p Params, dbs []*client.DB) (*Summary, error) 
 	}
 	total := p.Clients * p.Rounds * len(p.Mix.Numbers)
 	rng := rand.New(rand.NewSource(p.Seed + 9973))
+	var zipfSel []int
+	if p.Scenario == ScenarioZipf {
+		zipfSel = zipfSeq(p.Mix.Numbers, p.Seed, 0, total, p.ZipfS)
+	}
+	// ScenarioBurst compresses the schedule: arrivals are generated at
+	// BurstFactor× the rate and then mapped so each on-window of
+	// BurstPeriod/BurstFactor is followed by silence for the rest of
+	// the period — the average rate is still ArrivalRate, but it lands
+	// in bursts. The mapping is monotonic, so arrivals stay ordered.
+	rate := p.ArrivalRate
+	remap := func(t time.Duration) time.Duration { return t }
+	if p.Scenario == ScenarioBurst {
+		rate *= p.BurstFactor
+		onDur := time.Duration(float64(p.BurstPeriod) / p.BurstFactor)
+		remap = func(t time.Duration) time.Duration {
+			return (t/onDur)*p.BurstPeriod + t%onDur
+		}
+	}
 	jobs := make(chan job, total)
 	var off time.Duration
 	for k := 0; k < total; k++ {
-		jobs <- job{qn: p.Mix.Numbers[k%len(p.Mix.Numbers)], off: off}
-		off += time.Duration(rng.ExpFloat64() / p.ArrivalRate * float64(time.Second))
+		qn := p.Mix.Numbers[k%len(p.Mix.Numbers)]
+		if zipfSel != nil {
+			qn = zipfSel[k]
+		}
+		jobs <- job{qn: qn, off: remap(off)}
+		off += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
 	}
 	close(jobs)
 

@@ -43,6 +43,12 @@ func (s *Summary) Report() string {
 	if s.ArrivalRate > 0 {
 		fmt.Fprintf(&b, "arrival    : %.1f queries/s open-loop (latency includes queue delay)\n", s.ArrivalRate)
 	}
+	if s.Scenario != "" {
+		fmt.Fprintf(&b, "scenario   : %s\n", s.Scenario)
+	}
+	if s.Scenario == ScenarioSlowReader {
+		fmt.Fprintf(&b, "slow kills : %d/%d stalled readers disconnected by server\n", s.SlowKilled, s.SlowClients)
+	}
 	fmt.Fprintf(&b, "latency    : %s\n", fmtLat(s.Lat))
 	if s.CacheHits > 0 {
 		fmt.Fprintf(&b, "cache hits : %d/%d (%.1f%%)\n", s.CacheHits, s.Queries, 100*s.HitRatio())

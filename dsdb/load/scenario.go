@@ -1,0 +1,215 @@
+package load
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/dsdb/wire"
+)
+
+// Adversarial scenarios: the serving path's hostile-traffic modes.
+// Each stresses a different server defense — slow readers exercise
+// the write timeout (a stalled stream must be killed, not wedge the
+// engine's writers), Zipfian skew hammers the result cache and latch
+// with a hot key, and bursty arrivals probe queueing behavior far
+// from the Poisson average.
+const (
+	// ScenarioSlowReader runs SlowClients extra connections that start
+	// a large result stream and then stop reading it, while the normal
+	// mix runs alongside. The summary reports how many the server
+	// disconnected (SlowKilled) — nonzero proves the write timeout
+	// works end to end.
+	ScenarioSlowReader = "slowreader"
+	// ScenarioZipf replaces the uniform round-robin over the mix with
+	// Zipfian draws (exponent ZipfS): the first query of the mix is
+	// the hot key.
+	ScenarioZipf = "zipf"
+	// ScenarioBurst compresses the open-loop Poisson schedule into
+	// periodic bursts: BurstFactor× the arrival rate for 1/BurstFactor
+	// of each BurstPeriod, silence in between. Same average rate,
+	// hostile variance. Requires ArrivalRate > 0.
+	ScenarioBurst = "burst"
+)
+
+// Scenario defaults.
+const (
+	defaultSlowClients  = 2
+	defaultZipfS        = 1.5
+	defaultBurstFactor  = 8.0
+	defaultBurstPeriod  = time.Second
+	defaultSlowKillWait = 15 * time.Second
+)
+
+// validateScenario normalizes and checks the scenario knobs.
+func validateScenario(p *Params) error {
+	switch p.Scenario {
+	case "":
+		return nil
+	case ScenarioSlowReader:
+		if p.SlowClients <= 0 {
+			p.SlowClients = defaultSlowClients
+		}
+		if p.SlowKillWait <= 0 {
+			p.SlowKillWait = defaultSlowKillWait
+		}
+	case ScenarioZipf:
+		if p.ZipfS == 0 {
+			p.ZipfS = defaultZipfS
+		}
+		if p.ZipfS <= 1 {
+			return fmt.Errorf("load: zipf exponent %v must be > 1", p.ZipfS)
+		}
+	case ScenarioBurst:
+		if p.ArrivalRate <= 0 {
+			return fmt.Errorf("load: scenario %q needs an open loop (set ArrivalRate)", ScenarioBurst)
+		}
+		if p.BurstFactor <= 1 {
+			p.BurstFactor = defaultBurstFactor
+		}
+		if p.BurstPeriod <= 0 {
+			p.BurstPeriod = defaultBurstPeriod
+		}
+	default:
+		return fmt.Errorf("load: unknown scenario %q (have %s, %s, %s)",
+			p.Scenario, ScenarioSlowReader, ScenarioZipf, ScenarioBurst)
+	}
+	return nil
+}
+
+// zipfSeq draws n query numbers Zipf-distributed over the mix: index
+// 0 (the first query of the mix) is the hot key. Seeded per client
+// like clientOrder, so runs are reproducible.
+func zipfSeq(nums []int, seed int64, i, n int, s float64) []int {
+	rng := rand.New(rand.NewSource(seed + 31*int64(i) + 7919))
+	z := rand.NewZipf(rng, s, 1, uint64(len(nums)-1))
+	seq := make([]int, n)
+	for k := range seq {
+		seq[k] = nums[z.Uint64()]
+	}
+	return seq
+}
+
+// slowReaderSQL is the stream a slow reader stalls: a cartesian join
+// whose result (orders × lineitem at any scale factor) is orders of
+// magnitude larger than the kernel socket buffers on both sides, so
+// the server's frame writes must block once the reader stops.
+const slowReaderSQL = "select o_orderkey, l_orderkey, l_extendedprice from orders, lineitem"
+
+// slowReader is one deliberately stalled connection, speaking the
+// wire protocol raw — the point is to NOT read, which the client
+// package (correctly) never does.
+type slowReader struct {
+	nc net.Conn
+	w  *bufio.Writer
+}
+
+// startSlowReader dials, handshakes, starts the big stream, confirms
+// the server committed to it (RowHeader received — the query latch is
+// held now), and then stops reading.
+func startSlowReader(addr string) (*slowReader, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// A tiny receive buffer shrinks the TCP window, so the server
+		// blocks after a few KB instead of after megabytes.
+		tc.SetReadBuffer(4096)
+	}
+	fail := func(err error) (*slowReader, error) {
+		nc.Close()
+		return nil, err
+	}
+	if err := nc.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return fail(err)
+	}
+	w := bufio.NewWriter(nc)
+	r := bufio.NewReader(nc)
+	if err := wire.WriteFrame(w, wire.KindHello, wire.EncodeHello(wire.Hello{Version: wire.ProtocolVersion})); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	fr, err := wire.ReadFrame(r)
+	if err != nil {
+		return fail(err)
+	}
+	if fr.Kind != wire.KindHelloOK {
+		return fail(fmt.Errorf("slow reader handshake: unexpected %s frame", fr.Kind))
+	}
+	if err := wire.WriteFrame(w, wire.KindQuery, wire.EncodeQuery(wire.Query{Label: "slow", SQL: slowReaderSQL})); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if fr, err = wire.ReadFrame(r); err != nil {
+		return fail(err)
+	}
+	if fr.Kind != wire.KindRowHeader {
+		return fail(fmt.Errorf("slow reader: unexpected %s frame (want RowHeader)", fr.Kind))
+	}
+	// From here on: silence. The stream backs up behind us.
+	return &slowReader{nc: nc, w: w}, nil
+}
+
+// waitKilled waits up to budget for the server to disconnect this
+// reader. Detection is write-side: reading anything would drain the
+// stalled stream and re-arm the server's write deadline, defeating
+// the scenario. The probe bytes must also never form a complete
+// frame — a whole frame (even a Quit) could be consumed by the
+// server between row batches and end the session through the cancel
+// path instead of the slow-kill path — so the first probe writes a
+// header claiming a MaxFrame-sized payload and the rest feed it one
+// filler byte at a time; the server's ReadFrame just accumulates.
+// Once the server has closed the socket, a probe write fails (RST).
+func (sr *slowReader) waitKilled(budget time.Duration) bool {
+	defer sr.nc.Close()
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], wire.MaxFrame)
+	probe := hdr[:]
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		time.Sleep(250 * time.Millisecond)
+		if sr.nc.SetWriteDeadline(time.Now().Add(time.Second)) != nil {
+			return true
+		}
+		if _, err := sr.nc.Write(probe); err != nil {
+			return true
+		}
+		probe = []byte{0x00}
+	}
+	return false
+}
+
+// startSlowReaders launches the scenario's stalled connections.
+func startSlowReaders(p Params) ([]*slowReader, error) {
+	slows := make([]*slowReader, 0, p.SlowClients)
+	for k := 0; k < p.SlowClients; k++ {
+		sr, err := startSlowReader(p.Addr)
+		if err != nil {
+			for _, s := range slows {
+				s.nc.Close()
+			}
+			return nil, fmt.Errorf("load: slow reader %d: %w", k+1, err)
+		}
+		slows = append(slows, sr)
+	}
+	return slows, nil
+}
+
+// harvestSlowReaders records the scenario outcome into the summary:
+// how many stalled connections the server killed within the wait.
+func harvestSlowReaders(s *Summary, slows []*slowReader, wait time.Duration) {
+	s.SlowClients = len(slows)
+	for _, sr := range slows {
+		if sr.waitKilled(wait) {
+			s.SlowKilled++
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package load
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/server"
+)
+
+// TestReportGoldenScenario pins the scenario report lines the plain
+// goldens do not reach: the scenario tag and the slow-kill tally.
+// Regenerate with -update after an intentional change.
+func TestReportGoldenScenario(t *testing.T) {
+	s := &Summary{
+		Mix:         "train",
+		Clients:     4,
+		Rounds:      2,
+		Warmup:      1,
+		Queries:     40,
+		Rows:        5000,
+		Elapsed:     900 * time.Millisecond,
+		Scenario:    ScenarioSlowReader,
+		SlowClients: 2,
+		SlowKilled:  2,
+		Lat:         Latency{P50: 1 * time.Millisecond, P90: 3 * time.Millisecond, P99: 7 * time.Millisecond, Max: 12 * time.Millisecond},
+		PerQuery: []QueryStat{
+			{Label: "Q3", Count: 40, Rows: 5000, Lat: Latency{P50: 1 * time.Millisecond, P90: 3 * time.Millisecond, P99: 7 * time.Millisecond, Max: 12 * time.Millisecond}},
+		},
+	}
+	got := s.Report()
+	path := filepath.Join("testdata", "summary_scenario.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dsload scenario report drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestValidateScenario covers normalization and every rejection path.
+func TestValidateScenario(t *testing.T) {
+	ok := Params{Scenario: ScenarioSlowReader}
+	if err := validateScenario(&ok); err != nil {
+		t.Fatalf("slowreader defaults: %v", err)
+	}
+	if ok.SlowClients != defaultSlowClients || ok.SlowKillWait != defaultSlowKillWait {
+		t.Fatalf("slowreader defaults not applied: %+v", ok)
+	}
+	z := Params{Scenario: ScenarioZipf}
+	if err := validateScenario(&z); err != nil || z.ZipfS != defaultZipfS {
+		t.Fatalf("zipf defaults: %+v %v", z, err)
+	}
+	b := Params{Scenario: ScenarioBurst, ArrivalRate: 100}
+	if err := validateScenario(&b); err != nil || b.BurstFactor != defaultBurstFactor || b.BurstPeriod != defaultBurstPeriod {
+		t.Fatalf("burst defaults: %+v %v", b, err)
+	}
+	none := Params{}
+	if err := validateScenario(&none); err != nil || none.SlowClients != 0 {
+		t.Fatalf("empty scenario must be a no-op: %+v %v", none, err)
+	}
+
+	bad := []struct {
+		name string
+		p    Params
+		frag string
+	}{
+		{"unknown", Params{Scenario: "ddos"}, `unknown scenario "ddos"`},
+		{"zipf s too small", Params{Scenario: ScenarioZipf, ZipfS: 0.9}, "must be > 1"},
+		{"burst closed loop", Params{Scenario: ScenarioBurst}, "needs an open loop"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateScenario(&c.p)
+			if err == nil {
+				t.Fatalf("validateScenario accepted %+v", c.p)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q missing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+// TestZipfSeq checks the draws are deterministic per (seed, client)
+// and actually skewed: the mix's first query must dominate.
+func TestZipfSeq(t *testing.T) {
+	nums := []int{6, 3, 4, 14, 17}
+	a := zipfSeq(nums, 42, 0, 2000, 1.5)
+	b := zipfSeq(nums, 42, 0, 2000, 1.5)
+	c := zipfSeq(nums, 42, 1, 2000, 1.5)
+	if len(a) != 2000 {
+		t.Fatalf("wrong length %d", len(a))
+	}
+	same := true
+	diff := false
+	for k := range a {
+		if a[k] != b[k] {
+			same = false
+		}
+		if a[k] != c[k] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed+client must reproduce the identical sequence")
+	}
+	if !diff {
+		t.Fatal("different clients must draw different sequences")
+	}
+	hot := 0
+	valid := map[int]bool{}
+	for _, n := range nums {
+		valid[n] = true
+	}
+	for _, n := range a {
+		if !valid[n] {
+			t.Fatalf("drew %d, not in the mix %v", n, nums)
+		}
+		if n == nums[0] {
+			hot++
+		}
+	}
+	// With s=1.5 over 5 keys the hot key carries well over half the
+	// mass; uniform would give 20%. Assert a loose majority so the
+	// test is insensitive to the exact Zipf tail.
+	if hot < len(a)/2 {
+		t.Fatalf("hot key drawn %d/%d times — not skewed", hot, len(a))
+	}
+}
+
+// TestSlowReaderScenarioLive runs the full adversarial scenario end to
+// end: stalled readers alongside a real mix against a server with a
+// short write timeout. The summary must show every stalled reader
+// killed while the measured queries all completed — the liveness
+// property the scenario exists to prove.
+func TestSlowReaderScenarioLive(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db, server.WithWriteTimeout(500*time.Millisecond))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sum, err := Run(context.Background(), Params{
+		Addr:         ln.Addr().String(),
+		Clients:      2,
+		Rounds:       2,
+		Warmup:       0,
+		Mix:          Mix{Name: "smoke", Numbers: []int{6, 3}},
+		Scenario:     ScenarioSlowReader,
+		SlowClients:  2,
+		SlowKillWait: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := 2 * 2 * 2; sum.Queries != want {
+		t.Fatalf("measured %d queries, want %d — slow readers starved the mix", sum.Queries, want)
+	}
+	if sum.SlowClients != 2 || sum.SlowKilled != 2 {
+		t.Fatalf("slow kills = %d/%d, want 2/2", sum.SlowKilled, sum.SlowClients)
+	}
+	if st := srv.Stats(); st.SlowClientKills < 2 {
+		t.Fatalf("server counted %d slow kills, want >= 2", st.SlowClientKills)
+	}
+	rep := sum.Report()
+	if !strings.Contains(rep, "scenario   : slowreader") ||
+		!strings.Contains(rep, "slow kills : 2/2 stalled readers disconnected by server") {
+		t.Fatalf("report missing scenario lines:\n%s", rep)
+	}
+}
+
+// TestZipfScenarioLive checks the Zipfian closed-loop mode preserves
+// the measured-query accounting and skews the per-query counts toward
+// the mix's first query.
+func TestZipfScenarioLive(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sum, err := Run(context.Background(), Params{
+		Addr:     ln.Addr().String(),
+		Clients:  2,
+		Rounds:   8,
+		Warmup:   0,
+		Mix:      Mix{Name: "smoke", Numbers: []int{6, 3}},
+		Seed:     7,
+		Scenario: ScenarioZipf,
+		ZipfS:    2.0,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := 2 * 8 * 2; sum.Queries != want {
+		t.Fatalf("measured %d queries, want %d", sum.Queries, want)
+	}
+	hot := 0
+	for _, q := range sum.PerQuery {
+		if q.Label == "Q6" {
+			hot = q.Count
+		}
+	}
+	if hot <= sum.Queries/2 {
+		t.Fatalf("hot query Q6 ran %d/%d times — zipf skew missing:\n%s", hot, sum.Queries, sum.Report())
+	}
+	if !strings.Contains(sum.Report(), "scenario   : zipf") {
+		t.Fatalf("report missing scenario line:\n%s", sum.Report())
+	}
+}

@@ -25,24 +25,41 @@ type conn struct {
 	// buffer is what lets a Cancel frame arrive while the handler is
 	// busy streaming rows. done tells readLoop the handler is gone, so
 	// it never blocks forever sending to a channel nobody reads.
-	frames  chan wire.Frame
-	done    chan struct{}
-	readErr error
+	// readErr and idleKilled are written by readLoop before it closes
+	// frames and read by the handler only after the close, so the
+	// channel close is the happens-before edge that makes the plain
+	// fields safe.
+	frames     chan wire.Frame
+	done       chan struct{}
+	readErr    error
+	idleKilled bool
+
+	// quit is set by streamRows when a Quit frame overtakes the result
+	// stream: the stream is cancelled in place and the session ends
+	// right after the handler returns (handler goroutine only).
+	quit bool
 
 	// qmu guards the query-cancellation state below. qseen counts
 	// Query/QueryStmt frames as readLoop decodes them; qcur counts
-	// them as the handler starts executing them. A Cancel frame aims
-	// at query #qseen: if that query is running (qcur == qseen) its
-	// context is cancelled on the spot; if the handler has not reached
-	// it yet, pendingCancel arms so queryCtx starts it pre-cancelled.
-	// Attributing cancels by sequence number is what keeps a stray
-	// Cancel — one that raced with the query's own completion — from
-	// ever cancelling the next query.
+	// them as the handler starts executing them, and qdone as it
+	// finishes them (qseen > qdone is what tells readLoop's idle
+	// timeout that a silent client is mid-query, not idle). A Cancel
+	// frame aims at query #qseen: if that query is running
+	// (qcur == qseen) its context is cancelled on the spot; if the
+	// handler has not reached it yet, pendingCancel arms so queryCtx
+	// starts it pre-cancelled. Attributing cancels by sequence number
+	// is what keeps a stray Cancel — one that raced with the query's
+	// own completion — from ever cancelling the next query.
 	qmu           sync.Mutex
 	qcancel       context.CancelFunc
 	qseen         uint64
 	qcur          uint64
+	qdone         uint64
 	pendingCancel uint64
+
+	// stats is this connection's counter block (stats.go); surfaced by
+	// SHOW CONNS.
+	stats connStats
 
 	stmts      map[uint32]*dsdb.Stmt
 	stmtCols   map[uint32][]string
@@ -58,14 +75,44 @@ type conn struct {
 // Interrupt hook reacts to the context. The Cancel frame is still
 // enqueued so the handler consumes it in order and stray cancels
 // stay harmless no-ops.
+// readLoop also owns the connection's read deadline: the Hello frame
+// must arrive within handshakeTimeout, and after that each read waits
+// at most the idle timeout (when one is configured). A deadline that
+// cannot be set means the socket is already dead, and the session
+// fails rather than being admitted with no deadline at all.
 func (c *conn) readLoop() {
+	first := true
 	for {
-		fr, err := wire.ReadFrame(c.nc)
-		if err != nil {
+		var dl time.Time
+		if first {
+			dl = time.Now().Add(handshakeTimeout)
+		} else if d := c.srv.cfg.idleTimeout; d > 0 {
+			dl = time.Now().Add(d)
+		}
+		if err := c.nc.SetReadDeadline(dl); err != nil {
 			c.readErr = err
 			close(c.frames)
 			return
 		}
+		fr, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			if !first && isTimeout(err) {
+				// Idle deadline fired. A session mid-query is busy, not
+				// idle — the client is legitimately silent while its
+				// result stream is served — so re-arm and keep reading.
+				c.qmu.Lock()
+				busy := c.qseen > c.qdone
+				c.qmu.Unlock()
+				if busy {
+					continue
+				}
+				c.idleKilled = true
+			}
+			c.readErr = err
+			close(c.frames)
+			return
+		}
+		first = false
 		switch fr.Kind {
 		case wire.KindQuery, wire.KindQueryStmt:
 			c.qmu.Lock()
@@ -87,12 +134,64 @@ func (c *conn) readLoop() {
 	}
 }
 
-// send writes one frame and flushes it out.
+// errSlowClient marks a frame write that timed out: the client
+// stopped reading long enough for the kernel buffers to fill. serve()
+// tears the connection down without attempting another write.
+var errSlowClient = errors.New("server: slow client (write timeout)")
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// send writes one frame and flushes it, bounded by the write timeout.
+// A client that stops reading makes Flush block once the kernel
+// buffers fill; the deadline caps that, and the timeout path cancels
+// the in-flight query so its open Rows — and with it the engine's
+// shared read latch — is released on the way out. This is the fix for
+// the stalled-reader-wedges-writers liveness bug.
 func (c *conn) send(k wire.Kind, payload []byte) error {
-	if err := wire.WriteFrame(c.w, k, payload); err != nil {
-		return err
+	if d := c.srv.cfg.writeTimeout; d > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
 	}
-	return c.w.Flush()
+	if err := wire.WriteFrame(c.w, k, payload); err != nil {
+		return c.writeFailed(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.writeFailed(err)
+	}
+	n := uint64(len(payload)) + wire.FrameOverhead
+	c.srv.counters.bytesWritten.Add(n)
+	c.stats.bytesOut.Add(n)
+	return nil
+}
+
+// writeFailed classifies a frame-write failure. A timeout is the slow
+// client case: count the kill and cancel the in-flight query right
+// here — streamRows may still be iterating, and the cancel is what
+// stops the executor and frees the latch promptly.
+func (c *conn) writeFailed(err error) error {
+	if isTimeout(err) {
+		c.srv.counters.slowClientKills.Add(1)
+		c.cancelQuery()
+		return fmt.Errorf("%w: %v", errSlowClient, err)
+	}
+	return err
+}
+
+// farewell best-effort writes one terminal error frame under a short
+// explicit deadline. Used when the session is already being torn down
+// (idle kill), where blocking on a dead peer would be absurd.
+func (c *conn) farewell(code, msg string) {
+	if c.nc.SetWriteDeadline(time.Now().Add(refuseTimeout)) != nil {
+		return
+	}
+	if wire.WriteFrame(c.w, wire.KindError, wire.EncodeError(wire.ErrorFrame{Code: code, Message: msg})) == nil {
+		c.w.Flush()
+	}
 }
 
 // sendError reports a query-level failure; the connection survives.
@@ -120,6 +219,12 @@ func (c *conn) serve() {
 		select {
 		case fr, ok = <-c.frames:
 			if !ok {
+				if c.idleKilled {
+					// readLoop gave up on an idle session; tell the
+					// client why (it may well still be reading) and go.
+					c.srv.counters.idleKills.Add(1)
+					c.farewell(wire.CodeIdle, "session idle timeout")
+				}
 				return // socket closed, client gone
 			}
 		case <-c.srv.drainCh:
@@ -148,6 +253,8 @@ func (c *conn) serve() {
 				delete(c.stmts, cl.StmtID)
 				delete(c.stmtCols, cl.StmtID)
 			}
+		case wire.KindStats:
+			err = c.send(wire.KindStatsResult, wire.EncodeStats(wire.Stats{Pairs: c.srv.Stats().Pairs()}))
 		case wire.KindCancel:
 			// Stray cancel: the query it aimed at already finished.
 		case wire.KindQuit:
@@ -156,8 +263,16 @@ func (c *conn) serve() {
 			err = fmt.Errorf("unexpected %s frame", fr.Kind)
 		}
 		if err != nil {
-			c.sendError(wire.CodeProto, err.Error())
+			// A slow-client kill already cancelled the query and is past
+			// writing to this socket; anything else gets a last protocol
+			// error before the connection closes.
+			if !errors.Is(err, errSlowClient) {
+				c.sendError(wire.CodeProto, err.Error())
+			}
 			return
+		}
+		if c.quit {
+			return // Quit overtook the last result stream
 		}
 		// Drain at the query boundary once the server is shutting
 		// down (the blocking select above covers the idle case).
@@ -195,10 +310,8 @@ func (c *conn) handshake() error {
 		c.sendError(wire.CodeProto, fmt.Sprintf("protocol version %d unsupported (want %d)", h.Version, wire.ProtocolVersion))
 		return errors.New("server: version mismatch")
 	}
-	// Session established: lift the handshake read deadline (an
-	// authenticated-in-protocol idle session may sit as long as it
-	// likes, like any database connection).
-	c.nc.SetReadDeadline(time.Time{})
+	// Session established. readLoop owns the read deadline and has
+	// already swapped the handshake bound for the idle policy.
 	return c.send(wire.KindHelloOK, wire.EncodeHelloOK(wire.HelloOK{
 		Version:   wire.ProtocolVersion,
 		SessionID: uint32(c.id),
@@ -229,9 +342,38 @@ func (c *conn) queryCtx() (context.Context, context.CancelFunc) {
 	return ctx, func() {
 		c.qmu.Lock()
 		c.qcancel = nil
+		c.qdone++
 		c.qmu.Unlock()
 		cancel()
 	}
+}
+
+// beginQuery opens the per-query accounting window; endQuery closes
+// it and records the latency bucket.
+func (c *conn) beginQuery() time.Time {
+	c.srv.counters.queries.Add(1)
+	c.srv.counters.inFlight.Add(1)
+	c.stats.queries.Add(1)
+	c.stats.inFlight.Add(1)
+	return time.Now()
+}
+
+func (c *conn) endQuery(start time.Time) {
+	c.srv.counters.inFlight.Add(-1)
+	c.stats.inFlight.Add(-1)
+	c.srv.counters.observe(time.Since(start))
+}
+
+// reportQueryError counts and reports a query-level failure; the
+// connection survives (unless the report itself cannot be written).
+func (c *conn) reportQueryError(err error) error {
+	code := queryErrCode(err)
+	if code == wire.CodeCancelled {
+		c.srv.counters.cancelledQueries.Add(1)
+	} else {
+		c.srv.counters.queryErrors.Add(1)
+	}
+	return c.sendError(code, err.Error())
 }
 
 // cancelQuery cancels the in-flight query, if any (Shutdown force
@@ -248,16 +390,45 @@ func (c *conn) cancelQuery() {
 // own tracer (possibly nil, i.e. untraced) — never the DB-wide one,
 // which is single-threaded and would race across connections.
 func (c *conn) handleQuery(q wire.Query) error {
+	if target, ok := parseShow(q.SQL); ok {
+		return c.handleShow(target, q.Label)
+	}
 	ctx, done := c.queryCtx()
 	defer done()
+	start := c.beginQuery()
+	defer c.endQuery(start)
 	if c.hooks.OnQuery != nil {
 		c.hooks.OnQuery(q.Label)
 	}
 	rows, err := c.srv.db.QueryTraced(ctx, c.hooks.Tracer, q.SQL)
 	if err != nil {
-		return c.sendError(queryErrCode(err), err.Error())
+		return c.reportQueryError(err)
 	}
 	return c.streamRows(rows)
+}
+
+// handleShow serves a SHOW virtual table. It still runs the full
+// query protocol — queryCtx consumes this Query frame's sequence
+// number (readLoop counted it) and honors a Cancel that raced ahead —
+// but the rows come from the server's own introspection, not the
+// engine.
+func (c *conn) handleShow(target, label string) error {
+	ctx, done := c.queryCtx()
+	defer done()
+	start := c.beginQuery()
+	defer c.endQuery(start)
+	if c.hooks.OnQuery != nil {
+		c.hooks.OnQuery(label)
+	}
+	if err := ctx.Err(); err != nil {
+		return c.reportQueryError(err)
+	}
+	cols, rows, err := c.srv.showRows(target)
+	if err != nil {
+		c.srv.counters.queryErrors.Add(1)
+		return c.sendError(wire.CodeQuery, err.Error())
+	}
+	return c.streamStatic(cols, rows)
 }
 
 // queryErrCode classifies a query failure: cancellations (client
@@ -298,20 +469,24 @@ func (c *conn) handleQueryStmt(q wire.QueryStmt) error {
 		// number (and any cancel aimed at it) even though nothing runs.
 		c.qmu.Lock()
 		c.qcur++
+		c.qdone++
 		if c.pendingCancel == c.qcur {
 			c.pendingCancel = 0
 		}
 		c.qmu.Unlock()
+		c.srv.counters.queryErrors.Add(1)
 		return c.sendError(wire.CodeQuery, fmt.Sprintf("unknown statement %d", q.StmtID))
 	}
 	ctx, done := c.queryCtx()
 	defer done()
+	start := c.beginQuery()
+	defer c.endQuery(start)
 	if c.hooks.OnQuery != nil {
 		c.hooks.OnQuery(q.Label)
 	}
 	rows, err := stmt.Query(ctx)
 	if err != nil {
-		return c.sendError(queryErrCode(err), err.Error())
+		return c.reportQueryError(err)
 	}
 	return c.streamRows(rows)
 }
@@ -329,6 +504,10 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	}
 	batch := make([][]dsdb.Value, 0, wire.BatchRows)
 	var count uint64
+	defer func() {
+		c.srv.counters.rowsStreamed.Add(count)
+		c.stats.rows.Add(count)
+	}()
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -348,8 +527,13 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 				return c.readErr
 			}
 			switch fr.Kind {
-			case wire.KindCancel, wire.KindQuit:
+			case wire.KindCancel:
 				cancel()
+			case wire.KindQuit:
+				// Quit mid-stream: cancel like a Cancel, and flag the
+				// session to end once the stream's error marker is out.
+				cancel()
+				c.quit = true
 			default:
 				cancel()
 				return fmt.Errorf("unexpected %s frame during result stream", fr.Kind)
@@ -367,7 +551,7 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	}
 	if err := rows.Err(); err != nil {
 		// Drop the unsent tail: the stream ends with the error marker.
-		return c.sendError(queryErrCode(err), err.Error())
+		return c.reportQueryError(err)
 	}
 	if err := flush(); err != nil {
 		return err
@@ -378,6 +562,28 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	var flags uint8
 	if rows.CacheHit() {
 		flags |= wire.DoneFlagCacheHit
+		c.srv.counters.cacheHits.Add(1)
 	}
 	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, Flags: flags}))
+}
+
+// streamStatic streams a pre-materialized (virtual-table) result set
+// with the same RowHeader/RowBatch/Done framing as an engine query.
+func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value) error {
+	if err := c.send(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: cols})); err != nil {
+		return err
+	}
+	var count uint64
+	defer func() {
+		c.srv.counters.rowsStreamed.Add(count)
+		c.stats.rows.Add(count)
+	}()
+	for off := 0; off < len(rows); off += wire.BatchRows {
+		end := min(off+wire.BatchRows, len(rows))
+		if err := c.send(wire.KindRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: rows[off:end]})); err != nil {
+			return err
+		}
+		count += uint64(end - off)
+	}
+	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count}))
 }

@@ -1,0 +1,405 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+	"repro/dsdb/server"
+	"repro/dsdb/wire"
+)
+
+// smallBufListener shrinks every accepted connection's kernel send
+// buffer so a stalled reader backs the server up after a few KB
+// instead of after megabytes — the liveness tests would otherwise
+// need huge result sets to fill default buffers.
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(4096)
+		}
+	}
+	return nc, err
+}
+
+// rawConn is a minimal hand-rolled wire client for tests that need to
+// misbehave in ways dsdb/client never would (stalling mid-stream,
+// stray frames).
+type rawConn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(2048)
+	}
+	c := &rawConn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	c.sendFrame(t, wire.KindHello, wire.EncodeHello(wire.Hello{Version: wire.ProtocolVersion}))
+	fr := c.readFrame(t)
+	if fr.Kind != wire.KindHelloOK {
+		t.Fatalf("handshake: got %s, want HelloOK", fr.Kind)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return c
+}
+
+func (c *rawConn) sendFrame(t *testing.T, k wire.Kind, payload []byte) {
+	t.Helper()
+	if err := wire.WriteFrame(c.w, k, payload); err != nil {
+		t.Fatalf("write %s: %v", k, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatalf("flush %s: %v", k, err)
+	}
+}
+
+func (c *rawConn) readFrame(t *testing.T) wire.Frame {
+	t.Helper()
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr, err := wire.ReadFrame(c.r)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return fr
+}
+
+// bigCrossJoin produces a result set far larger than the shrunken
+// socket buffers, so the server must block writing it once the client
+// stops reading.
+const bigCrossJoin = "select o_orderkey, l_orderkey, l_extendedprice from orders, lineitem"
+
+// TestSlowClientDoesNotWedgeWriters is the headline liveness
+// regression: a client that stops reading mid-result-stream used to
+// block the handler in Flush forever while its open Rows held the
+// engine's shared read latch, starving every writer. With
+// WithWriteTimeout the stalled connection must be killed, a
+// concurrent Insert and Checkpoint must complete promptly, and the
+// kill must be visible in Server.Stats() and SHOW STATS.
+func TestSlowClientDoesNotWedgeWriters(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005), dsdb.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.WithWriteTimeout(500*time.Millisecond))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(smallBufListener{ln})
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// The stalled reader: start the big stream, read only the header,
+	// then go silent. The server's write path backs up within a few
+	// batches.
+	stalled := dialRaw(t, addr)
+	stalled.sendFrame(t, wire.KindQuery, wire.EncodeQuery(wire.Query{SQL: bigCrossJoin}))
+	if fr := stalled.readFrame(t); fr.Kind != wire.KindRowHeader {
+		t.Fatalf("got %s, want RowHeader", fr.Kind)
+	}
+
+	// Wait until the stream is actually in flight server-side.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().InFlightQueries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled query never became in-flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Writers must get through while the stalled stream still holds
+	// its latch: the write timeout bounds the wait.
+	writerDone := make(chan error, 1)
+	go func() {
+		if err := db.Insert("region", dsdb.NewInt(99), dsdb.NewStr("ATLANTIS")); err != nil {
+			writerDone <- err
+			return
+		}
+		writerDone <- db.Checkpoint()
+	}()
+	select {
+	case err := <-writerDone:
+		if err != nil {
+			t.Fatalf("Insert/Checkpoint: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Insert+Checkpoint wedged behind the stalled reader")
+	}
+
+	// The stalled connection must be killed: draining it now ends in a
+	// socket error once the few buffered KB run out.
+	stalled.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := stalled.nc.Read(buf); err != nil {
+			break
+		}
+	}
+
+	if st := srv.Stats(); st.SlowClientKills < 1 {
+		t.Fatalf("Stats().SlowClientKills = %d, want >= 1", st.SlowClientKills)
+	}
+
+	// And a healthy client sees the kill through SHOW STATS.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec(context.Background(), "show stats")
+	if err != nil {
+		t.Fatalf("show stats: %v", err)
+	}
+	var killed int64 = -1
+	for _, row := range res.Rows {
+		if row[0].S == "conns_slow_killed" {
+			killed = row[1].I
+		}
+	}
+	if killed < 1 {
+		t.Fatalf("show stats conns_slow_killed = %d, want >= 1", killed)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestStrayQuitDuringStream pins streamRows' cancel path: a Quit
+// frame arriving mid-stream must cancel the query in place, end the
+// stream with the cancelled marker (or a clean close), and terminate
+// the session without a protocol error.
+func TestStrayQuitDuringStream(t *testing.T) {
+	_, srv, addr := testServer(t)
+	c := dialRaw(t, addr)
+	c.sendFrame(t, wire.KindQuery, wire.EncodeQuery(wire.Query{SQL: "select l_orderkey from lineitem"}))
+	if fr := c.readFrame(t); fr.Kind != wire.KindRowHeader {
+		t.Fatalf("got %s, want RowHeader", fr.Kind)
+	}
+	c.sendFrame(t, wire.KindQuit, nil)
+	// Drain to the end of the connection: the stream must terminate
+	// (cancelled error frame, or Done if the Quit lost the race) and
+	// then the server must close — never a proto error.
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		fr, err := wire.ReadFrame(c.r)
+		if err != nil {
+			break // server closed the session: done
+		}
+		switch fr.Kind {
+		case wire.KindRowBatch, wire.KindDone:
+		case wire.KindError:
+			ef, derr := wire.DecodeError(fr.Payload)
+			if derr != nil {
+				t.Fatalf("bad error frame: %v", derr)
+			}
+			if ef.Code != wire.CodeCancelled {
+				t.Fatalf("stream ended with %q error, want %q", ef.Code, wire.CodeCancelled)
+			}
+		default:
+			t.Fatalf("unexpected %s frame after Quit", fr.Kind)
+		}
+	}
+	// The server must still drain cleanly (no stuck handler).
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestServeTwice checks the double-Serve guard: a second listener
+// must be rejected (and closed) instead of silently displacing the
+// first.
+func TestServeTwice(t *testing.T) {
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln1)
+	defer srv.Close()
+	// Wait for the first Serve to register its listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("first Serve never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln2); !errors.Is(err, server.ErrAlreadyServing) {
+		t.Fatalf("second Serve = %v, want ErrAlreadyServing", err)
+	}
+	// The rejected listener was closed by Serve.
+	if _, err := ln2.Accept(); err == nil {
+		t.Fatal("rejected listener still accepting")
+	}
+	// The first listener still serves.
+	if srv.Addr().String() != ln1.Addr().String() {
+		t.Fatalf("Addr() = %v, want %v", srv.Addr(), ln1.Addr())
+	}
+	c, err := client.Dial(ln1.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after rejected Serve: %v", err)
+	}
+	c.Close()
+}
+
+// TestIdleTimeout checks an idle session is killed with the idle
+// code while a session busy with a long stream survives far past the
+// idle bound.
+func TestIdleTimeout(t *testing.T) {
+	_, _, addr := testServer(t, server.WithIdleTimeout(300*time.Millisecond))
+
+	// Busy session: keeps a stream going well past the idle timeout by
+	// actually reading it (slowly, via the normal client).
+	busy, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	// Idle session: handshakes and then sits silent.
+	idle := dialRaw(t, addr)
+
+	busyDone := make(chan error, 1)
+	go func() {
+		rows, err := busy.Query(context.Background(), "select l_orderkey from lineitem")
+		if err != nil {
+			busyDone <- err
+			return
+		}
+		defer rows.Close()
+		for rows.Next() {
+			time.Sleep(time.Millisecond) // stretch the stream past the idle bound
+		}
+		busyDone <- rows.Err()
+	}()
+
+	// The idle session must receive the idle farewell (or a bare
+	// close) within a couple of timeouts.
+	idle.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr, err := wire.ReadFrame(idle.r)
+	if err == nil {
+		if fr.Kind != wire.KindError {
+			t.Fatalf("idle session got %s, want Error", fr.Kind)
+		}
+		ef, derr := wire.DecodeError(fr.Payload)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if ef.Code != wire.CodeIdle {
+			t.Fatalf("idle kill code = %q, want %q", ef.Code, wire.CodeIdle)
+		}
+	}
+
+	if err := <-busyDone; err != nil {
+		t.Fatalf("busy session killed by idle timeout: %v", err)
+	}
+}
+
+// TestStatsFrame checks the wire Stats round trip end to end: counters
+// move, and client.ServerStats surfaces them.
+func TestStatsFrame(t *testing.T) {
+	_, srv, addr := testServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(context.Background(), "select count(*) from region"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+	for _, name := range []string{"conns_total", "queries_total", "rows_streamed", "bytes_written"} {
+		v, ok := st.Get(name)
+		if !ok {
+			t.Fatalf("ServerStats missing %q", name)
+		}
+		if v < 1 {
+			t.Fatalf("%s = %d, want >= 1", name, v)
+		}
+	}
+	if got := srv.Stats(); got.Queries < 1 {
+		t.Fatalf("Server.Stats().Queries = %d, want >= 1", got.Queries)
+	}
+}
+
+// TestShowVirtualTables drives every SHOW target over the normal
+// protocol and checks shape and a few known values; an unknown target
+// must fail the query but keep the session.
+func TestShowVirtualTables(t *testing.T) {
+	_, _, addr := testServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Exec(context.Background(), "show tables")
+	if err != nil {
+		t.Fatalf("show tables: %v", err)
+	}
+	found := map[string]int64{}
+	for _, row := range res.Rows {
+		found[row[0].S] = row[1].I
+	}
+	if found["region"] != 5 || found["nation"] != 25 {
+		t.Fatalf("show tables: region=%d nation=%d, want 5 and 25 (have %v)", found["region"], found["nation"], found)
+	}
+
+	for _, target := range []string{"stats", "conns", "pool", "cache", "wal"} {
+		res, err := c.Exec(context.Background(), "SHOW "+target+";")
+		if err != nil {
+			t.Fatalf("show %s: %v", target, err)
+		}
+		if len(res.Columns) == 0 {
+			t.Fatalf("show %s: no columns", target)
+		}
+		if target != "conns" && len(res.Rows) == 0 {
+			t.Fatalf("show %s: no rows", target)
+		}
+	}
+
+	// Unknown target: query-level error, session survives.
+	_, err = c.Exec(context.Background(), "show nonsense")
+	var ef wire.ErrorFrame
+	if !errors.As(err, &ef) || ef.Code != wire.CodeQuery {
+		t.Fatalf("show nonsense: got %v, want query error", err)
+	}
+	if !strings.Contains(ef.Message, "unknown SHOW target") {
+		t.Fatalf("show nonsense message = %q", ef.Message)
+	}
+	if _, err := c.Exec(context.Background(), "select count(*) from region"); err != nil {
+		t.Fatalf("session broken after bad SHOW: %v", err)
+	}
+}

@@ -17,6 +17,25 @@
 // query runs at a time per connection (the wire protocol is
 // synchronous); concurrency comes from many connections, bounded by
 // WithMaxConns.
+//
+// The serving path is liveness-safe against hostile or broken
+// clients. Every frame write carries a deadline (WithWriteTimeout,
+// on by default): a client that stops reading its result stream is
+// disconnected when the kernel buffers fill and the flush times out,
+// which cancels the in-flight query and releases the engine's shared
+// read latch — a stalled reader can no longer wedge writers. A
+// distinguishable wire error code (CodeSlowClient) names the kill.
+// WithIdleTimeout bounds sessions parked between queries, and
+// over-limit connections are refused off the accept goroutine so a
+// slow refusal cannot stall admission.
+//
+// Everything the server does is counted: Server.Stats returns a
+// snapshot (connections accepted/refused/slow-killed/idle-killed,
+// queries, rows, bytes, a latency histogram), the same counters
+// answer the wire Stats frame (client.DB.ServerStats), and SHOW
+// virtual tables — "show stats", "show conns", "show tables", "show
+// pool", "show cache", "show wal" — stream them over the normal
+// query protocol, so any wire client can inspect a live server.
 package server
 
 import (
@@ -53,6 +72,8 @@ type SessionHooks struct {
 type config struct {
 	maxConns     int
 	queryTimeout time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
 	newSession   func(id int) SessionHooks
 }
 
@@ -70,6 +91,24 @@ func WithMaxConns(n int) Option {
 // with a cancelled error frame.
 func WithQueryTimeout(d time.Duration) Option {
 	return func(c *config) { c.queryTimeout = d }
+}
+
+// WithWriteTimeout bounds every frame write on every connection
+// (default DefaultWriteTimeout; 0 disables). A flush that exceeds it —
+// a client that stopped reading while the kernel buffers filled —
+// cancels the in-flight query, releases its engine latch, and closes
+// the connection with a slow_client error. This is the serving path's
+// liveness guarantee: one stalled reader can no longer wedge every
+// writer behind the engine's shared read latch.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(c *config) { c.writeTimeout = d }
+}
+
+// WithIdleTimeout closes sessions that sit idle between queries for
+// longer than d (default none). A session whose result stream is
+// still being served is busy, not idle, and is never killed by this.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(c *config) { c.idleTimeout = d }
 }
 
 // WithSessionHooks installs a per-session instrumentation factory,
@@ -95,12 +134,16 @@ type Server struct {
 	nextID   int
 	draining bool
 	wg       sync.WaitGroup
+
+	// counters is the server-wide stats block (stats.go). All fields
+	// are atomic; no lock is involved on the serving hot paths.
+	counters serverStats
 }
 
 // New wraps db in a server. The db stays usable directly (in-process
 // queries and served queries share the engine, per PR 2's model).
 func New(db *dsdb.DB, opts ...Option) *Server {
-	cfg := config{maxConns: 64}
+	cfg := config{maxConns: 64, writeTimeout: DefaultWriteTimeout}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -110,9 +153,23 @@ func New(db *dsdb.DB, opts ...Option) *Server {
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("server: closed")
 
+// ErrAlreadyServing is returned by a second concurrent Serve call:
+// the server owns one listener at a time, and letting another Serve
+// displace it would silently detach Addr() and Shutdown from the
+// first listener.
+var ErrAlreadyServing = errors.New("server: already serving")
+
+// DefaultWriteTimeout is the write bound applied when New is not
+// given WithWriteTimeout. It is deliberately non-zero: an unbounded
+// frame write is the liveness bug this server exists to not have.
+const DefaultWriteTimeout = 30 * time.Second
+
 // handshakeTimeout bounds how long an accepted connection may sit
 // without completing the Hello exchange.
 const handshakeTimeout = 10 * time.Second
+
+// refuseTimeout bounds the refusal error frame's write.
+const refuseTimeout = 2 * time.Second
 
 // ListenAndServe listens on addr and serves until Shutdown/Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -131,6 +188,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		ln.Close()
 		return ErrServerClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrAlreadyServing
 	}
 	s.ln = ln
 	s.mu.Unlock()
@@ -164,12 +226,12 @@ func (s *Server) startConn(nc net.Conn) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		refuse(nc, wire.CodeShutdown, "server is shutting down")
+		s.refuse(nc, wire.CodeShutdown, "server is shutting down")
 		return
 	}
 	if len(s.conns) >= s.cfg.maxConns {
 		s.mu.Unlock()
-		refuse(nc, wire.CodeConnLimit, fmt.Sprintf("connection limit %d reached", s.cfg.maxConns))
+		s.refuse(nc, wire.CodeConnLimit, fmt.Sprintf("connection limit %d reached", s.cfg.maxConns))
 		return
 	}
 	s.nextID++
@@ -181,14 +243,11 @@ func (s *Server) startConn(nc net.Conn) {
 		frames: make(chan wire.Frame, 4),
 		done:   make(chan struct{}),
 	}
-	// A connection that never says Hello must not hold a conn-limit
-	// slot forever: the deadline bounds the handshake read and is
-	// cleared once the session is established.
-	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	if s.cfg.newSession != nil {
 		c.hooks = s.cfg.newSession(c.id)
 	}
 	s.conns[c] = struct{}{}
+	s.counters.totalConns.Add(1)
 	s.wg.Add(1)
 	s.mu.Unlock()
 	go c.readLoop()
@@ -201,13 +260,24 @@ func (s *Server) startConn(nc net.Conn) {
 	}()
 }
 
-// refuse sends one error frame and closes the socket.
-func refuse(nc net.Conn, code, msg string) {
-	w := bufio.NewWriter(nc)
-	if wire.WriteFrame(w, wire.KindError, wire.EncodeError(wire.ErrorFrame{Code: code, Message: msg})) == nil {
-		w.Flush()
-	}
-	nc.Close()
+// refuse turns a connection away with one error frame. The write
+// happens on its own goroutine under a short deadline, so a refused
+// client that never reads can neither stall the accept loop nor hold
+// it hostage. The goroutine is deliberately not tracked by s.wg:
+// Shutdown may already be inside wg.Wait when the draining-path
+// refusal fires (Add after Wait is a WaitGroup misuse), and the
+// deadline guarantees self-termination within refuseTimeout anyway.
+func (s *Server) refuse(nc net.Conn, code, msg string) {
+	s.counters.refusedConns.Add(1)
+	go func() {
+		if nc.SetWriteDeadline(time.Now().Add(refuseTimeout)) == nil {
+			w := bufio.NewWriter(nc)
+			if wire.WriteFrame(w, wire.KindError, wire.EncodeError(wire.ErrorFrame{Code: code, Message: msg})) == nil {
+				w.Flush()
+			}
+		}
+		nc.Close()
+	}()
 }
 
 // Shutdown stops accepting connections and drains the served ones:

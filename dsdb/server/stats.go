@@ -1,0 +1,283 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/wire"
+)
+
+// LatencyBucketBounds are the upper bounds of the per-query latency
+// histogram, in ascending order; the last bucket is unbounded. The
+// names in Stats and the stats wire frame derive from these.
+var LatencyBucketBounds = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// numLatencyBuckets is len(bounds) + 1 for the unbounded tail.
+const numLatencyBuckets = len(LatencyBucketBounds) + 1
+
+// latencyBucketName renders bucket i's stable identifier
+// ("lat_lt_1ms" ... "lat_ge_1s").
+func latencyBucketName(i int) string {
+	if i < len(LatencyBucketBounds) {
+		return "lat_lt_" + fmtBound(LatencyBucketBounds[i])
+	}
+	return "lat_ge_" + fmtBound(LatencyBucketBounds[len(LatencyBucketBounds)-1])
+}
+
+// fmtBound renders a bucket bound compactly (1ms, 10ms, 100ms, 1s).
+func fmtBound(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+// serverStats is the server-wide counter set. Every field is atomic:
+// the hot paths (frame writes, row batches, query completion) touch
+// them without any lock, and Stats() snapshots them without stopping
+// the world.
+type serverStats struct {
+	totalConns      atomic.Uint64
+	refusedConns    atomic.Uint64
+	slowClientKills atomic.Uint64
+	idleKills       atomic.Uint64
+
+	queries          atomic.Uint64
+	queryErrors      atomic.Uint64
+	cancelledQueries atomic.Uint64
+	cacheHits        atomic.Uint64
+	inFlight         atomic.Int64
+
+	rowsStreamed atomic.Uint64
+	bytesWritten atomic.Uint64
+
+	latBuckets [numLatencyBuckets]atomic.Uint64
+}
+
+// observe records one finished query's latency bucket. Error and
+// cancellation attribution happens where the failure is classified
+// (conn.reportQueryError), not here.
+func (st *serverStats) observe(d time.Duration) {
+	i := 0
+	for ; i < len(LatencyBucketBounds); i++ {
+		if d < LatencyBucketBounds[i] {
+			break
+		}
+	}
+	st.latBuckets[i].Add(1)
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// ActiveConns is the number of currently served sessions;
+	// TotalConns counts every admitted connection since New, and
+	// RefusedConns every connection turned away (conn limit or
+	// draining).
+	ActiveConns  int
+	TotalConns   uint64
+	RefusedConns uint64
+	// SlowClientKills counts connections killed because a frame write
+	// exceeded the write timeout (a reader that stopped reading);
+	// IdleKills counts sessions closed by the idle timeout.
+	SlowClientKills uint64
+	IdleKills       uint64
+
+	// Queries counts every query accepted for execution (SHOW
+	// introspection included); QueryErrors the ones that failed,
+	// CancelledQueries the ones that ended cancelled (client Cancel,
+	// Quit mid-stream, or server-side deadline), CacheHits the ones
+	// answered from the result cache. InFlightQueries is the current
+	// number executing.
+	Queries          uint64
+	QueryErrors      uint64
+	CancelledQueries uint64
+	CacheHits        uint64
+	InFlightQueries  int
+
+	// RowsStreamed and BytesWritten count result rows and frame bytes
+	// sent across all connections.
+	RowsStreamed uint64
+	BytesWritten uint64
+
+	// LatencyBuckets is the per-query latency histogram: counts of
+	// completed queries under each LatencyBucketBounds entry, with an
+	// unbounded tail bucket.
+	LatencyBuckets [numLatencyBuckets]uint64
+}
+
+// Stats snapshots the server's counters. Counters are atomics, so the
+// snapshot is cheap and safe at any time, including mid-traffic.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		TotalConns:       s.counters.totalConns.Load(),
+		RefusedConns:     s.counters.refusedConns.Load(),
+		SlowClientKills:  s.counters.slowClientKills.Load(),
+		IdleKills:        s.counters.idleKills.Load(),
+		Queries:          s.counters.queries.Load(),
+		QueryErrors:      s.counters.queryErrors.Load(),
+		CancelledQueries: s.counters.cancelledQueries.Load(),
+		CacheHits:        s.counters.cacheHits.Load(),
+		InFlightQueries:  int(s.counters.inFlight.Load()),
+		RowsStreamed:     s.counters.rowsStreamed.Load(),
+		BytesWritten:     s.counters.bytesWritten.Load(),
+	}
+	for i := range st.LatencyBuckets {
+		st.LatencyBuckets[i] = s.counters.latBuckets[i].Load()
+	}
+	s.mu.Lock()
+	st.ActiveConns = len(s.conns)
+	s.mu.Unlock()
+	return st
+}
+
+// Pairs renders the snapshot as the ordered name/value list carried
+// by the wire Stats frame and the SHOW STATS virtual table. Names are
+// stable snake_case identifiers.
+func (st Stats) Pairs() []wire.StatPair {
+	pairs := []wire.StatPair{
+		{Name: "conns_active", Value: int64(st.ActiveConns)},
+		{Name: "conns_total", Value: int64(st.TotalConns)},
+		{Name: "conns_refused", Value: int64(st.RefusedConns)},
+		{Name: "conns_slow_killed", Value: int64(st.SlowClientKills)},
+		{Name: "conns_idle_killed", Value: int64(st.IdleKills)},
+		{Name: "queries_total", Value: int64(st.Queries)},
+		{Name: "queries_in_flight", Value: int64(st.InFlightQueries)},
+		{Name: "queries_failed", Value: int64(st.QueryErrors)},
+		{Name: "queries_cancelled", Value: int64(st.CancelledQueries)},
+		{Name: "queries_cache_hits", Value: int64(st.CacheHits)},
+		{Name: "rows_streamed", Value: int64(st.RowsStreamed)},
+		{Name: "bytes_written", Value: int64(st.BytesWritten)},
+	}
+	for i, n := range st.LatencyBuckets {
+		pairs = append(pairs, wire.StatPair{Name: latencyBucketName(i), Value: int64(n)})
+	}
+	return pairs
+}
+
+// connStats is one connection's counter set (atomics, same rationale
+// as serverStats); surfaced by the SHOW CONNS virtual table.
+type connStats struct {
+	queries  atomic.Uint64
+	rows     atomic.Uint64
+	bytesOut atomic.Uint64
+	inFlight atomic.Int32
+}
+
+// showColumns and the builders below implement the SHOW virtual
+// tables: introspection queryable over the normal protocol, streamed
+// with the same RowHeader/RowBatch/Done frames as any result set.
+//
+// SHOW STATS  — the server counter snapshot (stat, value)
+// SHOW CONNS  — per-connection counters (conn, remote, ...)
+// SHOW TABLES — catalog: name, rows, write epoch, index count
+// SHOW POOL   — buffer pool: frames, pinned, hits, misses
+// SHOW CACHE  — result cache counters (all zero when disabled)
+// SHOW WAL    — durability: durable flag, current WAL segment
+
+// parseShow recognizes a SHOW statement; ok is false for anything
+// else (which then takes the normal query path).
+func parseShow(sql string) (target string, ok bool) {
+	fields := strings.Fields(strings.ToLower(strings.TrimRight(strings.TrimSpace(sql), "; \t\r\n")))
+	if len(fields) != 2 || fields[0] != "show" {
+		return "", false
+	}
+	return fields[1], true
+}
+
+// kv builds one (stat, value) row.
+func kv(name string, v int64) []dsdb.Value {
+	return []dsdb.Value{dsdb.NewStr(name), dsdb.NewInt(v)}
+}
+
+// showRows builds the named virtual table. An unknown target returns
+// an error that is reported as a query-level failure (the session
+// survives, like any bad SQL).
+func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, err error) {
+	switch target {
+	case "stats":
+		cols = []string{"stat", "value"}
+		for _, p := range s.Stats().Pairs() {
+			rows = append(rows, kv(p.Name, p.Value))
+		}
+	case "conns":
+		cols = []string{"conn", "remote", "queries", "rows", "bytes", "in_flight"}
+		s.mu.Lock()
+		conns := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+		for _, c := range conns {
+			rows = append(rows, []dsdb.Value{
+				dsdb.NewInt(int64(c.id)),
+				dsdb.NewStr(c.nc.RemoteAddr().String()),
+				dsdb.NewInt(int64(c.stats.queries.Load())),
+				dsdb.NewInt(int64(c.stats.rows.Load())),
+				dsdb.NewInt(int64(c.stats.bytesOut.Load())),
+				dsdb.NewInt(int64(c.stats.inFlight.Load())),
+			})
+		}
+	case "tables":
+		cols = []string{"table", "rows", "epoch", "indexes"}
+		for _, t := range s.db.TableStats() {
+			rows = append(rows, []dsdb.Value{
+				dsdb.NewStr(t.Name),
+				dsdb.NewInt(int64(t.Rows)),
+				dsdb.NewInt(int64(t.Epoch)),
+				dsdb.NewInt(int64(t.Indexes)),
+			})
+		}
+	case "pool":
+		cols = []string{"stat", "value"}
+		p := s.db.PoolStats()
+		rows = [][]dsdb.Value{
+			kv("frames", int64(p.Frames)),
+			kv("pinned", int64(p.Pinned)),
+			kv("hits", int64(p.Hits)),
+			kv("misses", int64(p.Misses)),
+		}
+	case "cache":
+		cols = []string{"stat", "value"}
+		st, enabled := s.db.ResultCacheStats()
+		e := int64(0)
+		if enabled {
+			e = 1
+		}
+		rows = [][]dsdb.Value{
+			kv("enabled", e),
+			kv("hits", int64(st.Hits)),
+			kv("misses", int64(st.Misses)),
+			kv("entries", int64(st.Entries)),
+			kv("used_bytes", st.UsedBytes),
+			kv("max_bytes", st.MaxBytes),
+			kv("evictions", int64(st.Evictions)),
+			kv("invalidations", int64(st.Invalidations)),
+			kv("expirations", int64(st.Expirations)),
+			kv("admission_rejects", int64(st.AdmissionRejects)),
+		}
+	case "wal":
+		cols = []string{"stat", "value"}
+		w := s.db.WALStats()
+		d := int64(0)
+		if w.Durable {
+			d = 1
+		}
+		rows = [][]dsdb.Value{
+			kv("durable", d),
+			kv("seq", int64(w.Seq)),
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal)", target)
+	}
+	return cols, rows, nil
+}

@@ -46,8 +46,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		frame(KindError, EncodeError(ErrorFrame{Code: CodeCancelled, Message: "context canceled"})),
 		frame(KindCancel, nil),
 		frame(KindQuit, nil),
+		frame(KindStats, nil),
+		frame(KindStatsResult, EncodeStats(Stats{Pairs: []StatPair{
+			{Name: "conns_active", Value: 2}, {Name: "bytes_written", Value: 1 << 40}}})),
+		frame(KindStatsResult, []byte{0xff, 0xff}), // claims 65535 pairs, provides none
 		frame(0x7f, []byte("unknown kind payload")),
-		frame(KindRowBatch, []byte{0xff, 0xff}), // claims 65535 rows, provides none
+		frame(KindRowBatch, []byte{0xff, 0xff}),                                              // claims 65535 rows, provides none
 		frame(KindQuery, []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}), // huge uvarint
 		append(frame(KindCancel, nil), frame(KindQuery, EncodeQuery(Query{SQL: "select 1"}))[:7]...),
 	}

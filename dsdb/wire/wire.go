@@ -30,8 +30,9 @@ import (
 // ProtocolVersion is the protocol revision spoken by this package.
 // Hello carries the client's version; the server refuses mismatches.
 // Revision 2 added the Done frame's flags byte (cache-hit
-// attribution).
-const ProtocolVersion = 2
+// attribution). Revision 3 added the Stats/StatsResult introspection
+// frames and the slow_client/idle_timeout error codes.
+const ProtocolVersion = 3
 
 // Magic opens every Hello frame ("DSDB").
 const Magic = 0x44534442
@@ -81,6 +82,12 @@ const (
 	KindCancel
 	// KindQuit announces an orderly client disconnect.
 	KindQuit
+	// KindStats asks the server for its counter snapshot (client →
+	// server); no payload.
+	KindStats
+	// KindStatsResult carries the counter snapshot (server → client):
+	// ordered name/value pairs.
+	KindStatsResult
 )
 
 // String names the frame kind for diagnostics.
@@ -112,6 +119,10 @@ func (k Kind) String() string {
 		return "Cancel"
 	case KindQuit:
 		return "Quit"
+	case KindStats:
+		return "Stats"
+	case KindStatsResult:
+		return "StatsResult"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -119,6 +130,11 @@ func (k Kind) String() string {
 // BatchRows is the maximum number of rows a server packs into one
 // RowBatch frame.
 const BatchRows = 64
+
+// FrameOverhead is the wire cost of a frame beyond its payload: the
+// 4-byte length prefix plus the kind byte. Servers use it to account
+// bytes actually written per frame.
+const FrameOverhead = 5
 
 // Error codes carried by KindError frames.
 const (
@@ -135,6 +151,16 @@ const (
 	// CodeProto reports a protocol violation; the server closes the
 	// connection after sending it.
 	CodeProto = "proto"
+	// CodeSlowClient marks a connection killed because the client
+	// stopped reading its result stream: a frame write exceeded the
+	// server's write timeout, so the query was cancelled and the
+	// socket closed (the stalled client usually observes the close,
+	// not this frame — it was not reading).
+	CodeSlowClient = "slow_client"
+	// CodeIdle marks a session closed by the server's idle timeout:
+	// no frame arrived, and no query was in flight, for longer than
+	// the configured bound.
+	CodeIdle = "idle_timeout"
 )
 
 // ErrFrameTooLarge rejects frames whose length prefix exceeds
@@ -638,6 +664,57 @@ func DecodeDone(p []byte) (Done, error) {
 	return dn, d.End()
 }
 
+// StatPair is one named counter in a StatsResult frame.
+type StatPair struct {
+	Name  string
+	Value int64
+}
+
+// Stats is the server counter snapshot carried by a StatsResult
+// frame: ordered name/value pairs (the order is the server's
+// presentation order; names are stable snake_case identifiers).
+type Stats struct {
+	Pairs []StatPair
+}
+
+// Get returns the named counter's value (0, false when absent).
+func (s Stats) Get(name string) (int64, bool) {
+	for _, p := range s.Pairs {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// EncodeStats builds a StatsResult payload.
+func EncodeStats(s Stats) []byte {
+	var e Encoder
+	e.U16(uint16(len(s.Pairs)))
+	for _, p := range s.Pairs {
+		e.String(p.Name)
+		e.I64(p.Value)
+	}
+	return e.Bytes()
+}
+
+// DecodeStats parses a StatsResult payload.
+func DecodeStats(p []byte) (Stats, error) {
+	d := NewDecoder(p)
+	n := int(d.U16())
+	if err := d.Err(); err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Pairs: make([]StatPair, 0, min(n, 64))}
+	for i := 0; i < n; i++ {
+		s.Pairs = append(s.Pairs, StatPair{Name: d.String(), Value: d.I64()})
+		if err := d.Err(); err != nil {
+			return Stats{}, err
+		}
+	}
+	return s, d.End()
+}
+
 // ErrorFrame reports a failure.
 type ErrorFrame struct {
 	Code    string
@@ -692,7 +769,9 @@ func DecodePayload(f Frame) (any, error) {
 		return DecodeDone(f.Payload)
 	case KindError:
 		return DecodeError(f.Payload)
-	case KindCancel, KindQuit:
+	case KindStatsResult:
+		return DecodeStats(f.Payload)
+	case KindCancel, KindQuit, KindStats:
 		if len(f.Payload) != 0 {
 			return nil, fmt.Errorf("wire: %s frame carries %d unexpected payload bytes", f.Kind, len(f.Payload))
 		}

@@ -32,8 +32,11 @@ func TestFrameRoundTrip(t *testing.T) {
 		{KindDone, EncodeDone(Done{RowCount: 42}), Done{RowCount: 42}},
 		{KindError, EncodeError(ErrorFrame{Code: CodeQuery, Message: "boom"}),
 			ErrorFrame{Code: CodeQuery, Message: "boom"}},
+		{KindStatsResult, EncodeStats(Stats{Pairs: []StatPair{{Name: "conns_active", Value: 3}, {Name: "rows_streamed", Value: -1}}}),
+			Stats{Pairs: []StatPair{{Name: "conns_active", Value: 3}, {Name: "rows_streamed", Value: -1}}}},
 		{KindCancel, nil, nil},
 		{KindQuit, nil, nil},
+		{KindStats, nil, nil},
 	}
 	var buf bytes.Buffer
 	for _, f := range frames {
@@ -144,6 +147,17 @@ func TestDecoderMalformed(t *testing.T) {
 			var e Encoder
 			e.U16(65535) // claims 65535 columns, provides none
 			return DecodeRowHeader(e.Bytes())
+		}},
+		{"stats truncated", true, func() (any, error) {
+			var e Encoder
+			e.U16(2) // claims 2 pairs, provides none
+			return DecodeStats(e.Bytes())
+		}},
+		{"stats trailing garbage", true, func() (any, error) {
+			return DecodeStats(append(EncodeStats(Stats{Pairs: []StatPair{{Name: "x", Value: 1}}}), 0x00))
+		}},
+		{"stats request with payload", true, func() (any, error) {
+			return DecodePayload(Frame{Kind: KindStats, Payload: []byte{1}})
 		}},
 	}
 	for _, c := range cases {

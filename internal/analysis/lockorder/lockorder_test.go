@@ -9,7 +9,7 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	analyzertest.Run(t, "testdata", lockorder.Analyzer, "buffer", "engine", "qcache")
+	analyzertest.Run(t, "testdata", lockorder.Analyzer, "buffer", "engine", "qcache", "server")
 }
 
 // TestScratchOutOfOrder pins the acceptance scenario: a deliberate

@@ -1,0 +1,66 @@
+// Package server is a testdata stand-in for the serving layer: Server
+// and conn match the lockrank entries server.mu and server.qmu. The
+// ranked order is server.mu before server.qmu — Shutdown holds the
+// connection registry mutex while cancelling each connection's
+// in-flight query — so taking them the other way around deadlocks
+// against a concurrent shutdown.
+package server
+
+import "sync"
+
+type conn struct {
+	qmu     sync.Mutex
+	qcancel func()
+	srv     *Server
+}
+
+type Server struct {
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+}
+
+// cancelQuery is the real conn.cancelQuery shape: a leaf acquisition
+// of the per-connection query mutex.
+func (c *conn) cancelQuery() {
+	c.qmu.Lock()
+	if c.qcancel != nil {
+		c.qcancel()
+	}
+	c.qmu.Unlock()
+}
+
+// legalShutdown follows the ranked order: the registry mutex first,
+// then (via cancelQuery's fact) each connection's query mutex.
+func (s *Server) legalShutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.cancelQuery()
+	}
+}
+
+// badDeregister inverts the order: the query mutex is a leaf, so
+// reaching back into the server registry under it deadlocks against
+// legalShutdown's mu -> qmu path.
+func (c *conn) badDeregister() {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.srv.mu.Lock() // want "server.mu .exclusive. acquired while server.qmu is held .exclusive.: lock-rank order violated"
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+func (c *conn) deregister() {
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+}
+
+// badDeregisterViaCall commits the same inversion one frame away:
+// deregister's summary fact attributes its server.mu acquisition to
+// this call site.
+func (c *conn) badDeregisterViaCall() {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.deregister() // want "call to deregister may acquire server.mu .exclusive. while server.qmu is held .exclusive.: lock-rank order violated"
+}

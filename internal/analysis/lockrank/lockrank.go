@@ -100,6 +100,29 @@ type Lock struct {
 // slice is documentation only; the partial order is the Before edges.
 var Table = []Lock{
 	{
+		Name:   "server.mu",
+		Pkg:    "repro/dsdb/server",
+		Type:   "Server",
+		Field:  "mu",
+		Before: []string{"server.qmu"},
+		Doc: "Server state mutex: connection registry, listener, drain flag. " +
+			"Held while cancelling per-connection queries on forced shutdown, " +
+			"so it ranks before server.qmu. Never held across engine calls or " +
+			"frame writes — the serving layer sits above the kernel hierarchy.",
+	},
+	{
+		Name:   "server.qmu",
+		Pkg:    "repro/dsdb/server",
+		Type:   "conn",
+		Field:  "qmu",
+		Before: nil,
+		Doc: "Per-connection query-lifecycle mutex (qseen/qdone/pendingCancel " +
+			"and the cancel func). A leaf; the read loop invokes the query's " +
+			"context cancel under it by design — cancellation only flips a " +
+			"channel, it never re-enters the engine — so it carries no " +
+			"NoTracer bit.",
+	},
+	{
 		Name:   "engine.closeMu",
 		Pkg:    "repro/internal/db/engine",
 		Type:   "DB",

@@ -42,6 +42,9 @@ func TestMayAcquire(t *testing.T) {
 		{"engine.latch", Shared, "engine.latch", Exclusive, false},    // read-to-write upgrade deadlocks
 		{"engine.latch", Exclusive, "engine.latch", Exclusive, false}, // exclusive reentry deadlocks
 		{"buffer.pool", Exclusive, "buffer.pool", Exclusive, false},
+		{"server.mu", Exclusive, "server.qmu", Exclusive, true},  // Shutdown cancels per-conn queries
+		{"server.qmu", Exclusive, "server.mu", Exclusive, false}, // reverse order deadlocks against Shutdown
+		{"server.mu", Exclusive, "engine.latch", Shared, false},  // serving mutexes never wrap engine calls
 	}
 	for _, c := range cases {
 		if got := MayAcquire(c.held, c.heldMode, c.next, c.nextMode); got != c.want {
@@ -65,10 +68,12 @@ func TestEveryMutexBearingTypeIsRanked(t *testing.T) {
 	roots := []string{
 		filepath.Join(root, "internal", "db"),
 		filepath.Join(root, "dsdb", "qcache"),
+		filepath.Join(root, "dsdb", "server"),
 	}
-	// dsdb's own root package (not its subpackages: server/client/load
-	// mutexes guard per-connection protocol state above the engine and
-	// are outside the kernel hierarchy).
+	// dsdb's own root package (not client/load: their mutexes guard
+	// per-session protocol state on the dialing side and are outside
+	// the hierarchy; the server's mutexes ARE ranked — Shutdown holds
+	// server.mu across per-connection cancellation).
 	dsdbFiles, err := filepath.Glob(filepath.Join(root, "dsdb", "*.go"))
 	if err != nil {
 		t.Fatal(err)

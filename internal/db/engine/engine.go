@@ -351,6 +351,17 @@ func (db *DB) NumRows(table string) int { return db.rows[table] }
 // epoch for the whole execution, since writers are excluded.
 func (db *DB) TableEpoch(table string) uint64 { return db.epochs[table] }
 
+// WALSeq returns the sequence number of the write-ahead log segment
+// currently appended to (0 on a non-durable database). Safe without
+// the engine latch: the WAL writer has its own mutex and the wal
+// pointer is immutable after open.
+func (db *DB) WALSeq() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.Seq()
+}
+
 // Heap returns a table's heap access method (call under BeginRead).
 func (db *DB) Heap(table string) *access.Heap { return db.heaps[table] }
 
