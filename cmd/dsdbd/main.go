@@ -14,9 +14,19 @@
 // a client that stops reading its result stream is disconnected when
 // a frame write exceeds it, cancelling the query so stalled readers
 // cannot wedge writers. On shutdown the daemon logs its serving
-// counters (conns, slow kills, queries, rows, bytes); a live server
-// answers the same counters over the wire ("show stats", or dsload
-// -server-stats).
+// counters (uptime, conns, slow kills, queries, in-flight, rows,
+// bytes); a live server answers the same counters over the wire
+// ("show stats", or dsload -server-stats).
+//
+// Observability: every query gets a per-stage span (plan, cache,
+// exec, io, wal, net). -slow-query-log logs queries over the given
+// threshold to stderr with their stage breakdown, and "show queries"
+// / "show slow" expose the recent/slow rings over the wire.
+// -metrics-addr serves /metrics (Prometheus text format: counters,
+// the log-spaced latency histogram, per-stage histograms) and
+// /debug/pprof on a second listener:
+//
+//	dsdbd -addr :5454 -metrics-addr 127.0.0.1:9090 -slow-query-log 100ms
 //
 // With -data-dir the database is durable: the first start builds the
 // TPC-D dataset, checkpoints it into the directory and write-ahead
@@ -34,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +70,8 @@ func main() {
 	cacheTTL := flag.Duration("result-cache-ttl", 0, "result cache entry TTL (0 = no expiry)")
 	cacheMinCost := flag.Duration("result-cache-min-cost", 0, "result cache admission threshold: skip caching queries whose first run was faster (0 = admit all)")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory; existing dirs warm-start, skipping the TPC-D load)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (empty = disabled)")
+	slowQuery := flag.Duration("slow-query-log", 0, "log queries slower than this to stderr with their per-stage breakdown (0 = disabled)")
 	flag.Parse()
 
 	if (*cacheTTL > 0 || *cacheMinCost > 0) && *cacheBytes <= 0 {
@@ -94,7 +107,17 @@ func main() {
 		server.WithMaxConns(*maxConns),
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithWriteTimeout(*writeTimeout),
-		server.WithIdleTimeout(*idleTimeout))
+		server.WithIdleTimeout(*idleTimeout),
+		server.WithSlowQueryThreshold(*slowQuery))
+	if *slowQuery > 0 {
+		db.Obs().SetSlowLogger(log.New(os.Stderr, "dsdbd: slow query: ", 0))
+	}
+	if *metricsAddr != "" {
+		go func() {
+			log.Fatalf("dsdbd: metrics listener: %v", http.ListenAndServe(*metricsAddr, server.NewMetricsMux(srv)))
+		}()
+		fmt.Fprintf(os.Stderr, "dsdbd: metrics and pprof on http://%s\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -111,10 +134,10 @@ func main() {
 			log.Fatalf("dsdbd: forced shutdown: %v", err)
 		}
 		st := srv.Stats()
-		fmt.Fprintf(os.Stderr, "dsdbd: served %d conns (%d refused, %d slow-killed, %d idle-killed), %d queries (%d failed, %d cancelled, %d cache hits), %d rows / %d bytes streamed\n",
+		fmt.Fprintf(os.Stderr, "dsdbd: served %d conns (%d refused, %d slow-killed, %d idle-killed), %d queries (%d failed, %d cancelled, %d cache hits, %d in flight), %d rows / %d bytes streamed, up %s\n",
 			st.TotalConns, st.RefusedConns, st.SlowClientKills, st.IdleKills,
-			st.Queries, st.QueryErrors, st.CancelledQueries, st.CacheHits,
-			st.RowsStreamed, st.BytesWritten)
+			st.Queries, st.QueryErrors, st.CancelledQueries, st.CacheHits, st.InFlightQueries,
+			st.RowsStreamed, st.BytesWritten, st.Uptime.Round(time.Second))
 		if st, ok := db.ResultCacheStats(); ok {
 			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations, %d expirations, %d admission rejects\n",
 				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations, st.Expirations, st.AdmissionRejects)

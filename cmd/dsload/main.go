@@ -22,11 +22,15 @@
 // first query as the hot key, and burst compresses the open-loop
 // schedule into periodic bursts at the same average rate.
 // -server-stats fetches the server's counter snapshot (a wire Stats
-// frame) after the run.
+// frame) after the run. -report-json writes the machine-readable run
+// summary (throughput, latency percentiles, hit ratio, per-query
+// stats, and — when the server is reachable for a stats snapshot —
+// its counters and per-stage means) to the given path.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +39,7 @@ import (
 
 	"repro/dsdb/client"
 	"repro/dsdb/load"
+	"repro/dsdb/wire"
 )
 
 func main() {
@@ -55,6 +60,7 @@ func main() {
 	burstFactor := flag.Float64("burst-factor", 0, "burst: rate multiplier during bursts (0 = default 8)")
 	burstPeriod := flag.Duration("burst-period", 0, "burst: burst cycle period (0 = default 1s)")
 	serverStats := flag.Bool("server-stats", false, "after the run, fetch and print the server's counter snapshot")
+	reportJSON := flag.String("report-json", "", "write the machine-readable run summary (JSON) to this path")
 	flag.Parse()
 
 	mix, err := load.ParseMix(*mixFlag)
@@ -89,19 +95,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(sum.Report())
-	if *serverStats {
+	// One stats snapshot serves both consumers: the human -server-stats
+	// dump and the JSON report's server sections.
+	var st *wire.Stats
+	if *serverStats || *reportJSON != "" {
 		db, err := client.Dial(*addr)
 		if err != nil {
-			log.Fatalf("dsload: -server-stats: %v", err)
+			log.Fatalf("dsload: server stats: %v", err)
 		}
-		st, err := db.ServerStats()
+		snap, err := db.ServerStats()
 		db.Close()
 		if err != nil {
-			log.Fatalf("dsload: -server-stats: %v", err)
+			log.Fatalf("dsload: server stats: %v", err)
 		}
+		st = &snap
+	}
+	if *serverStats {
 		fmt.Println("server stats:")
 		for _, p := range st.Pairs {
 			fmt.Printf("  %s=%d\n", p.Name, p.Value)
 		}
+	}
+	if *reportJSON != "" {
+		blob, err := json.MarshalIndent(load.BuildJSONReport(sum, st), "", "  ")
+		if err != nil {
+			log.Fatalf("dsload: -report-json: %v", err)
+		}
+		if err := os.WriteFile(*reportJSON, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("dsload: -report-json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dsload: wrote JSON report to %s\n", *reportJSON)
 	}
 }

@@ -55,13 +55,28 @@
 //     connection onto a per-session context over one shared DB
 //     (connection limits, per-query deadlines, graceful drain), and
 //     a client with the same Query/QueryRow/Exec/Prepare surface as
-//     dsdb.DB returning byte-identical results over the network.
+//     dsdb.DB returning byte-identical results over the network. The
+//     server also serves introspection: SHOW virtual tables (stats,
+//     conns, tables, pool, cache, wal, queries, slow), a Stats wire
+//     frame, an optional slow-query log (WithSlowQueryThreshold), and
+//     NewMetricsMux — an HTTP handler exposing Prometheus text
+//     metrics (query latency and per-stage histograms included) plus
+//     net/http/pprof, mounted by dsdbd -metrics-addr.
+//   - repro/dsdb/obs — query observability: every query gets a
+//     monotonically-assigned id (carried to clients on the Done
+//     frame) and a pooled per-stage span — plan, cache, exec, io,
+//     wal, net, measured disjointly so the stages sum to the
+//     end-to-end latency — feeding a recent-query ring, log-spaced
+//     aggregate histograms, and slow-query classification. Stdlib
+//     only, nil-safe throughout; a disabled tracer costs one nil
+//     check per query.
 //   - repro/dsdb/load — the load generator behind cmd/dsload: N
 //     client sessions driving a TPC-D query mix closed-loop or
 //     open-loop (fixed-rate Poisson arrivals, queueing delay included
 //     in the percentiles), warmup exclusion, latency percentiles,
-//     throughput, and cache hit-ratio reporting with cached/uncached
-//     latency splits.
+//     throughput, cache hit-ratio reporting with cached/uncached
+//     latency splits, adversarial scenarios (slowreader, zipf,
+//     burst), and machine-readable JSON run reports.
 //
 // Binaries: cmd/dsquery (interactive queries), cmd/dsdbd (the
 // serving daemon), cmd/dsload (load generation), cmd/profiler and

@@ -60,8 +60,9 @@ type Rows struct {
 	idx       int
 	cur       []dsdb.Value
 	err       error
-	done      bool  // terminal frame (Done or Error) received
-	doneFlags uint8 // execution flags from the Done frame
+	done      bool   // terminal frame (Done or Error) received
+	doneFlags uint8  // execution flags from the Done frame
+	queryID   uint64 // server-assigned query id from the Done frame
 	released  bool
 
 	// cancelMu serializes the context watcher against stream
@@ -201,6 +202,7 @@ func (r *Rows) Next() bool {
 				return false
 			} else {
 				r.doneFlags = dn.Flags
+				r.queryID = dn.QueryID
 			}
 		case wire.KindError:
 			r.done = true
@@ -246,6 +248,12 @@ func (r *Rows) Err() error { return r.err }
 // frame). It is meaningful only after the stream completed — i.e.
 // once Next has returned false with a nil Err.
 func (r *Rows) CacheHit() bool { return r.doneFlags&wire.DoneFlagCacheHit != 0 }
+
+// QueryID returns the server-assigned id for this execution — the
+// correlation handle for the server's SHOW queries / SHOW slow
+// virtual tables and slow-query log. Like CacheHit it is meaningful
+// only after the stream completed (Next returned false, nil Err).
+func (r *Rows) QueryID() uint64 { return r.queryID }
 
 // Close releases the result set, cancelling the server-side query if
 // the stream was not fully consumed. Idempotent and safe to defer.

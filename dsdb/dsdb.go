@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/dsdb/obs"
 	"repro/dsdb/qcache"
 	"repro/internal/db/catalog"
 	"repro/internal/db/engine"
@@ -92,6 +93,7 @@ type config struct {
 	cacheTTL     time.Duration
 	cacheMinCost time.Duration
 	dataDir      string
+	obsCfg       obs.Config
 }
 
 // Option configures Open.
@@ -198,6 +200,16 @@ func WithDataDir(dir string) Option {
 	return func(c *config) { c.dataDir = dir }
 }
 
+// WithObservability tunes (or, with Config.Disabled, turns off) the
+// query-observability tracer every database carries by default: spans
+// with per-stage timings for each query, a recent-query ring, and a
+// slow-query ring/log (see dsdb/obs and DB.Obs). Observability is on
+// by default because its cost is a pooled span and a handful of clock
+// reads per query; disable it to measure the kernel bare.
+func WithObservability(cfg obs.Config) Option {
+	return func(c *config) { c.obsCfg = cfg }
+}
+
 // DB is one open database, safe for concurrent use: any number of
 // goroutines may call Query, QueryRow, Exec and Prepare at once, each
 // execution getting its own executor context. Queries hold the
@@ -222,6 +234,11 @@ type DB struct {
 	// cache is the query result cache (nil when Open ran without
 	// WithResultCache). It is immutable after Open.
 	cache *qcache.Cache
+
+	// obs is the query-observability tracer (nil when opened with
+	// WithObservability(obs.Config{Disabled: true})). Immutable after
+	// Open; shared by local queries and every served session.
+	obs *obs.Tracer
 
 	// recovered reports that Open found existing durable state in the
 	// data directory and replayed it instead of loading fresh data.
@@ -254,6 +271,9 @@ func Open(opts ...Option) (*DB, error) {
 		parallelism:  cfg.parallelism,
 		workerCounts: probe.NewCountingTracer(),
 		recovered:    recovered,
+	}
+	if !cfg.obsCfg.Disabled {
+		db.obs = obs.New(cfg.obsCfg)
 	}
 	if cfg.cacheBytes > 0 {
 		db.cache = qcache.NewWith(qcache.Config{
@@ -488,9 +508,26 @@ func (db *DB) CreateIndex(table, column string, kind IndexKind, unique bool) err
 	return db.eng.CreateIndex(table, column, kind, unique)
 }
 
-// Insert appends one row to a table, maintaining its indices.
+// Obs returns the database's query-observability tracer: recent and
+// slow query records, per-stage aggregate histograms, and the
+// slow-query threshold/logger knobs. Nil when observability was
+// disabled at Open (every tracer method is nil-safe, so callers may
+// chain without checking).
+func (db *DB) Obs() *obs.Tracer { return db.obs }
+
+// Insert appends one row to a table, maintaining its indices. Like
+// queries, inserts are observed: the span's WAL stage times the
+// write-ahead append/fsync on durable databases.
 func (db *DB) Insert(table string, row ...Value) error {
-	return db.eng.Insert(table, row)
+	sp := db.obs.Begin("insert", "insert "+table)
+	err := db.eng.InsertSpanned(table, row, sp)
+	if err != nil {
+		sp.SetErr(err)
+	} else {
+		sp.AddRows(1)
+	}
+	sp.End()
+	return err
 }
 
 // NumRows returns a table's loaded cardinality.

@@ -1,0 +1,126 @@
+package load
+
+import (
+	"repro/dsdb/obs"
+	"repro/dsdb/wire"
+)
+
+// JSONLatency is a Latency in integer nanoseconds, the form a
+// machine-readable report wants (no duration-string parsing).
+type JSONLatency struct {
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+func jsonLat(l Latency) JSONLatency {
+	return JSONLatency{
+		P50Ns: l.P50.Nanoseconds(),
+		P90Ns: l.P90.Nanoseconds(),
+		P99Ns: l.P99.Nanoseconds(),
+		MaxNs: l.Max.Nanoseconds(),
+	}
+}
+
+// JSONQueryStat is one query's slice of a JSONReport.
+type JSONQueryStat struct {
+	Label   string      `json:"label"`
+	Count   int         `json:"count"`
+	Rows    int64       `json:"rows"`
+	Latency JSONLatency `json:"latency"`
+}
+
+// StageMean summarizes one execution stage across every query the
+// server observed: how many spans recorded time in the stage, the
+// total, and the mean per recording.
+type StageMean struct {
+	Stage   string `json:"stage"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MeanNs  int64  `json:"mean_ns"`
+}
+
+// JSONReport is the machine-readable run summary written by dsload
+// -report-json: the Summary's numbers with stable snake_case keys,
+// plus — when the server's stats snapshot is available — the raw
+// counter pairs and the per-stage means derived from the snapshot's
+// stage_<name>_count / stage_<name>_total_ns pairs.
+type JSONReport struct {
+	Mix        string  `json:"mix"`
+	Clients    int     `json:"clients"`
+	Rounds     int     `json:"rounds"`
+	Warmup     int     `json:"warmup"`
+	Queries    int     `json:"queries"`
+	Rows       int64   `json:"rows"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"throughput_qps"`
+
+	Latency   JSONLatency  `json:"latency"`
+	CacheHits int          `json:"cache_hits"`
+	HitRatio  float64      `json:"hit_ratio"`
+	LatHit    *JSONLatency `json:"latency_hit,omitempty"`
+	LatMiss   *JSONLatency `json:"latency_miss,omitempty"`
+
+	ArrivalRate float64 `json:"arrival_rate_qps,omitempty"`
+	Scenario    string  `json:"scenario,omitempty"`
+
+	PerQuery []JSONQueryStat `json:"per_query"`
+
+	ServerStats  map[string]int64 `json:"server_stats,omitempty"`
+	ServerStages []StageMean      `json:"server_stages,omitempty"`
+}
+
+// BuildJSONReport renders a Summary (and, optionally, the server's
+// wire stats snapshot; nil when it was not fetched) as the report
+// dsload -report-json writes.
+func BuildJSONReport(s *Summary, st *wire.Stats) JSONReport {
+	r := JSONReport{
+		Mix:         s.Mix,
+		Clients:     s.Clients,
+		Rounds:      s.Rounds,
+		Warmup:      s.Warmup,
+		Queries:     s.Queries,
+		Rows:        s.Rows,
+		ElapsedNs:   s.Elapsed.Nanoseconds(),
+		Throughput:  s.Throughput(),
+		Latency:     jsonLat(s.Lat),
+		CacheHits:   s.CacheHits,
+		HitRatio:    s.HitRatio(),
+		ArrivalRate: s.ArrivalRate,
+		Scenario:    s.Scenario,
+		PerQuery:    make([]JSONQueryStat, 0, len(s.PerQuery)),
+	}
+	if s.CacheHits > 0 {
+		hit, miss := jsonLat(s.LatHit), jsonLat(s.LatMiss)
+		r.LatHit = &hit
+		if s.CacheHits < s.Queries {
+			r.LatMiss = &miss
+		}
+	}
+	for _, q := range s.PerQuery {
+		r.PerQuery = append(r.PerQuery, JSONQueryStat{
+			Label:   q.Label,
+			Count:   q.Count,
+			Rows:    q.Rows,
+			Latency: jsonLat(q.Lat),
+		})
+	}
+	if st != nil {
+		r.ServerStats = make(map[string]int64, len(st.Pairs))
+		for _, p := range st.Pairs {
+			r.ServerStats[p.Name] = p.Value
+		}
+		for i := obs.Stage(0); i < obs.NumStages; i++ {
+			name := i.String()
+			count, _ := st.Get("stage_" + name + "_count")
+			total, _ := st.Get("stage_" + name + "_total_ns")
+			sm := StageMean{Stage: name, Count: count, TotalNs: total}
+			if count > 0 {
+				sm.MeanNs = total / count
+			}
+			r.ServerStages = append(r.ServerStages, sm)
+		}
+	}
+	return r
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/dsdb/obs"
 	"repro/dsdb/qcache"
 	"repro/internal/db/executor"
 	"repro/internal/db/sql"
@@ -104,7 +105,15 @@ func (s *Stmt) Columns() []string { return append([]string(nil), s.cols...) }
 // set is then published for the next repeat. Partially consumed,
 // cancelled or failed executions publish nothing.
 func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
-	return s.execQuery(ctx, true)
+	return s.execQuery(ctx, true, s.db.obs.Begin("", s.query))
+}
+
+// QueryLabeled is Query with a client-chosen label recorded on the
+// execution's observability span (the server uses it so prepared
+// statements carry their wire label into SHOW queries and the
+// slow-query log).
+func (s *Stmt) QueryLabeled(ctx context.Context, label string) (*Rows, error) {
+	return s.execQuery(ctx, true, s.db.obs.Begin(label, s.query))
 }
 
 // execQuery runs one execution. consultCache selects whether the result
@@ -112,8 +121,12 @@ func (s *Stmt) Query(ctx context.Context) (*Rows, error) {
 // while the one-shot Query/QueryTraced path already missed in its
 // pre-plan lookup and must not probe again — a second Get would
 // double-count the miss (skewing the reported hit ratio) for nothing.
-func (s *Stmt) execQuery(ctx context.Context, consultCache bool) (*Rows, error) {
+// The span (nil when unobserved) is handed to the returned Rows on
+// success and ended here on failure.
+func (s *Stmt) execQuery(ctx context.Context, consultCache bool, sp *obs.Span) (*Rows, error) {
 	if !s.busy.CompareAndSwap(false, true) {
+		sp.SetErr(ErrStmtBusy)
+		sp.End()
 		return nil, ErrStmtBusy
 	}
 	if ctx == nil {
@@ -128,9 +141,18 @@ func (s *Stmt) execQuery(ctx context.Context, consultCache bool) (*Rows, error) 
 		// a hit is consistent with the database as of this call, and a
 		// fill's snapshot cannot be perturbed mid-execution.
 		if consultCache {
-			if res, ok := c.Get(s.cacheKey, s.db.eng.TableEpoch); ok {
+			var lookupStart time.Time
+			if sp != nil {
+				lookupStart = time.Now()
+			}
+			res, ok := c.Get(s.cacheKey, s.db.eng.TableEpoch)
+			if sp != nil {
+				sp.Add(obs.StageCache, time.Since(lookupStart))
+			}
+			if ok {
 				s.release()
-				return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true}, nil
+				sp.SetCacheHit()
+				return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true, span: sp}, nil
 			}
 		}
 		fp := qcache.Footprint{Tables: s.tables, Epochs: make([]uint64, len(s.tables))}
@@ -145,16 +167,21 @@ func (s *Stmt) execQuery(ctx context.Context, consultCache bool) (*Rows, error) 
 		fill = &cacheFill{cache: c, key: s.cacheKey, fp: fp, limit: c.MaxBytes() - fixed}
 	}
 	s.c.Interrupt = ctx.Err
+	s.c.SetSpan(sp)
 	openStart := time.Now()
 	if err := s.plan.Open(); err != nil {
 		s.plan.Close()
 		s.release()
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
+	opened := time.Since(openStart)
 	if fill != nil {
-		fill.cost = time.Since(openStart)
+		fill.cost = opened
 	}
-	return &Rows{stmt: s, ctx: ctx, cols: s.cols, fill: fill}, nil
+	sp.Add(obs.StageExec, opened)
+	return &Rows{stmt: s, ctx: ctx, cols: s.cols, fill: fill, span: sp}, nil
 }
 
 // cacheFill accumulates a copy of a streaming execution's rows for
@@ -212,6 +239,7 @@ func (f *cacheFill) commit(cols []string) {
 // the engine latch.
 func (s *Stmt) release() {
 	s.c.Interrupt = nil
+	s.c.SetSpan(nil)
 	if s.unlatch != nil {
 		s.unlatch()
 		s.unlatch = nil
@@ -261,6 +289,15 @@ type Rows struct {
 	hit       bool
 	fill      *cacheFill
 	exhausted bool
+
+	// span is the query's observability record (nil when unobserved):
+	// Next times executor pulls into its exec stage, and close ends it
+	// — unless DetachSpan transferred ownership (spanDetached), which
+	// is how the server extends a span across the network flush.
+	// rowsOut counts produced rows for the span.
+	span         *obs.Span
+	spanDetached bool
+	rowsOut      int64
 }
 
 // Columns returns the output column names.
@@ -293,15 +330,21 @@ func (r *Rows) Next() bool {
 		}
 		r.cur = r.cres.Rows[r.cidx]
 		r.cidx++
+		r.rowsOut++
 		return true
 	}
 	var pullStart time.Time
-	if r.fill != nil {
+	timed := r.fill != nil || r.span != nil
+	if timed {
 		pullStart = time.Now()
 	}
 	tup, ok, err := r.stmt.plan.Next()
-	if r.fill != nil {
-		r.fill.cost += time.Since(pullStart)
+	if timed {
+		pull := time.Since(pullStart)
+		if r.fill != nil {
+			r.fill.cost += pull
+		}
+		r.span.Add(obs.StageExec, pull)
 	}
 	if err != nil {
 		r.err = err
@@ -314,6 +357,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.cur = tup
+	r.rowsOut++
 	if r.fill != nil {
 		r.fill.add(tup)
 	}
@@ -423,7 +467,8 @@ func (r *Rows) close() {
 	r.closed = true
 	r.cur = nil // a Scan after close must fail, not read stale data
 	if r.stmt == nil {
-		return // cache hit: nothing to tear down
+		r.endSpan() // cache hit: nothing to tear down but the span
+		return
 	}
 	r.closeErr = r.stmt.plan.Close()
 	if r.err == nil {
@@ -436,6 +481,45 @@ func (r *Rows) close() {
 		r.fill = nil
 	}
 	r.stmt.release()
+	// End after release: the record is published with no engine latch
+	// held by this close.
+	r.endSpan()
+}
+
+// endSpan finishes the query's span at stream end — unless the span
+// was detached, in which case its owner (the serving connection) ends
+// it after the last network flush.
+func (r *Rows) endSpan() {
+	sp := r.span
+	if sp == nil {
+		return
+	}
+	r.span = nil
+	if r.spanDetached {
+		return
+	}
+	sp.AddRows(r.rowsOut)
+	if r.err != nil {
+		sp.SetErr(r.err)
+	}
+	sp.End()
+}
+
+// Span returns the query's observability span (nil when the database
+// runs with observability disabled).
+func (r *Rows) Span() *obs.Span { return r.span }
+
+// DetachSpan transfers span ownership to the caller: Rows keeps
+// timing executor pulls into it, but close no longer ends it — the
+// caller must End it once the last cost is accounted. The server uses
+// this to extend served spans across the result stream, ending them
+// only after the terminal frame is flushed so the network stage is
+// complete. Returns nil when unobserved.
+func (r *Rows) DetachSpan() *obs.Span {
+	if r.span != nil {
+		r.spanDetached = true
+	}
+	return r.span
 }
 
 // Close releases the plan's resources. It is idempotent, safe after
@@ -450,14 +534,10 @@ func (r *Rows) Close() error {
 // before planning: parse, canonicalize, validate epochs, serve — the
 // hot path repeated DSS traffic takes on every hit.
 func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
-	if r, ok := db.cachedQuery(ctx, query); ok {
-		return r, nil
-	}
-	stmt, err := db.Prepare(query)
-	if err != nil {
-		return nil, err
-	}
-	return stmt.execQuery(ctx, false)
+	db.mu.Lock()
+	tr := db.tracer
+	db.mu.Unlock()
+	return db.QueryObserved(ctx, tr, "", query)
 }
 
 // QueryTraced is Query with an explicit per-call tracer (see
@@ -466,14 +546,32 @@ func (db *DB) Query(ctx context.Context, query string) (*Rows, error) {
 // take the same pre-plan fast path as Query — a hit emits no trace
 // either way.
 func (db *DB) QueryTraced(ctx context.Context, tr Tracer, query string) (*Rows, error) {
-	if r, ok := db.cachedQuery(ctx, query); ok {
+	return db.QueryObserved(ctx, tr, "", query)
+}
+
+// QueryObserved is QueryTraced with a client-supplied label recorded
+// on the query's observability span — the entry point the server uses
+// so SHOW queries and the slow-query log carry the label the client
+// sent over the wire (dsload's "Q9", stcpipe's phase markers).
+func (db *DB) QueryObserved(ctx context.Context, tr Tracer, label, query string) (*Rows, error) {
+	sp := db.obs.Begin(label, query)
+	if r, ok := db.cachedQuery(ctx, query, sp); ok {
 		return r, nil
 	}
+	var planStart time.Time
+	if sp != nil {
+		planStart = time.Now()
+	}
 	stmt, err := db.PrepareTraced(tr, query)
+	if sp != nil {
+		sp.Add(obs.StagePlan, time.Since(planStart))
+	}
 	if err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
-	return stmt.execQuery(ctx, false)
+	return stmt.execQuery(ctx, false, sp)
 }
 
 // cachedQuery attempts the one-shot result-cache fast path: parse
@@ -483,11 +581,23 @@ func (db *DB) QueryTraced(ctx context.Context, tr Tracer, query string) (*Rows, 
 // error reporting. A key can only be cached if the query once
 // compiled and ran — and tables are never dropped — so skipping
 // plan-time validation on a hit cannot hide a real error.
-func (db *DB) cachedQuery(ctx context.Context, query string) (*Rows, bool) {
+// The span is carried, not ended: a miss continues into the compile
+// path with its parse time already attributed.
+func (db *DB) cachedQuery(ctx context.Context, query string, sp *obs.Span) (*Rows, bool) {
 	if db.cache == nil {
 		return nil, false
 	}
+	// Stage boundaries share one clock reading each: Begin's reading
+	// starts the plan stage, the reading that ends it starts the cache
+	// stage — and every boundary is a monotonic-only read (time.Since)
+	// off the span's start. The cached-hit path is the latency-
+	// sensitive one, and clock reads are its dominant tracing cost.
 	key, _, err := sql.Analyze(query)
+	var d1 time.Duration
+	if sp != nil {
+		d1 = time.Since(sp.StartTime())
+		sp.Add(obs.StagePlan, d1) // parsing is plan-stage work
+	}
 	if err != nil {
 		return nil, false
 	}
@@ -497,10 +607,14 @@ func (db *DB) cachedQuery(ctx context.Context, query string) (*Rows, bool) {
 	release := db.eng.BeginRead()
 	res, ok := db.cache.Get(key, db.eng.TableEpoch)
 	release()
+	if sp != nil {
+		sp.Add(obs.StageCache, time.Since(sp.StartTime())-d1)
+	}
 	if !ok {
 		return nil, false
 	}
-	return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true}, true
+	sp.SetCacheHit()
+	return &Rows{ctx: ctx, cols: res.Columns, cres: res, hit: true, span: sp}, true
 }
 
 // Row is the result of QueryRow: a single-row wrapper whose Scan

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/dsdb"
+	"repro/dsdb/obs"
 	"repro/dsdb/wire"
 )
 
@@ -400,7 +401,7 @@ func (c *conn) handleQuery(q wire.Query) error {
 	if c.hooks.OnQuery != nil {
 		c.hooks.OnQuery(q.Label)
 	}
-	rows, err := c.srv.db.QueryTraced(ctx, c.hooks.Tracer, q.SQL)
+	rows, err := c.srv.db.QueryObserved(ctx, c.hooks.Tracer, q.Label, q.SQL)
 	if err != nil {
 		return c.reportQueryError(err)
 	}
@@ -420,15 +421,22 @@ func (c *conn) handleShow(target, label string) error {
 	if c.hooks.OnQuery != nil {
 		c.hooks.OnQuery(label)
 	}
+	// SHOW runs under a span too (it is a served query), but builds its
+	// rows before the ring is snapshotted below — an in-flight SHOW has
+	// not Ended yet, so it never lists itself.
+	sp := c.srv.db.Obs().Begin(label, "show "+target)
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
+		sp.SetErr(err)
 		return c.reportQueryError(err)
 	}
 	cols, rows, err := c.srv.showRows(target)
 	if err != nil {
+		sp.SetErr(err)
 		c.srv.counters.queryErrors.Add(1)
 		return c.sendError(wire.CodeQuery, err.Error())
 	}
-	return c.streamStatic(cols, rows)
+	return c.streamStatic(cols, rows, sp)
 }
 
 // queryErrCode classifies a query failure: cancellations (client
@@ -484,7 +492,7 @@ func (c *conn) handleQueryStmt(q wire.QueryStmt) error {
 	if c.hooks.OnQuery != nil {
 		c.hooks.OnQuery(q.Label)
 	}
-	rows, err := stmt.Query(ctx)
+	rows, err := stmt.QueryLabeled(ctx, q.Label)
 	if err != nil {
 		return c.reportQueryError(err)
 	}
@@ -497,22 +505,48 @@ func (c *conn) handleQueryStmt(q wire.QueryStmt) error {
 // protocol violation); query-level failures are reported in-stream
 // and return nil.
 func (c *conn) streamRows(rows *dsdb.Rows) error {
+	// The query's observability span outlives the Rows: frame encoding
+	// and flushing are part of serving the query, so the stream
+	// detaches the span, attributes its sends to the net stage, and
+	// ends it only after the Done frame is out (Close's own end then
+	// no-ops). The defer order (LIFO) is what makes it sound: the row
+	// count lands on the span, then the span ends, then the Rows
+	// closes.
+	sp := rows.DetachSpan()
 	defer rows.Close()
+	defer sp.End()
 	cancel := c.cancelQuery
-	if err := c.send(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: rows.Columns()})); err != nil {
-		return err
-	}
-	batch := make([][]dsdb.Value, 0, wire.BatchRows)
 	var count uint64
 	defer func() {
 		c.srv.counters.rowsStreamed.Add(count)
 		c.stats.rows.Add(count)
+		sp.AddRows(int64(count))
 	}()
+	// sendNet is send with the wall time (encode + frame write + flush)
+	// attributed to the span's net stage. The disabled path is one nil
+	// check — no clock reads.
+	sendNet := func(k wire.Kind, encode func() []byte) error {
+		if sp == nil {
+			return c.send(k, encode())
+		}
+		t0 := time.Now()
+		err := c.send(k, encode())
+		sp.Add(obs.StageNet, time.Since(t0))
+		return err
+	}
+	if err := sendNet(wire.KindRowHeader, func() []byte {
+		return wire.EncodeRowHeader(wire.RowHeader{Columns: rows.Columns()})
+	}); err != nil {
+		return err
+	}
+	batch := make([][]dsdb.Value, 0, wire.BatchRows)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		err := c.send(wire.KindRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: batch}))
+		err := sendNet(wire.KindRowBatch, func() []byte {
+			return wire.EncodeRowBatch(wire.RowBatch{Rows: batch})
+		})
 		batch = batch[:0]
 		return err
 	}
@@ -551,6 +585,7 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	}
 	if err := rows.Err(); err != nil {
 		// Drop the unsent tail: the stream ends with the error marker.
+		sp.SetErr(err)
 		return c.reportQueryError(err)
 	}
 	if err := flush(); err != nil {
@@ -558,32 +593,49 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	}
 	// Attribute the execution in the terminal frame: a cache-hit serve
 	// never touched the executor, and the client (dsload in
-	// particular) splits its latency percentiles on this flag.
+	// particular) splits its latency percentiles on this flag. The
+	// span's id rides along so the client can correlate this result
+	// with SHOW queries / SHOW slow.
 	var flags uint8
 	if rows.CacheHit() {
 		flags |= wire.DoneFlagCacheHit
 		c.srv.counters.cacheHits.Add(1)
 	}
-	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, Flags: flags}))
+	return sendNet(wire.KindDone, func() []byte {
+		return wire.EncodeDone(wire.Done{RowCount: count, Flags: flags, QueryID: sp.ID()})
+	})
 }
 
 // streamStatic streams a pre-materialized (virtual-table) result set
 // with the same RowHeader/RowBatch/Done framing as an engine query.
-func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value) error {
-	if err := c.send(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: cols})); err != nil {
+// The caller's span (nil when observability is disabled) gets the
+// row count and the send time as net-stage work; ending it stays with
+// the caller.
+func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value, sp *obs.Span) error {
+	sendNet := func(k wire.Kind, payload []byte) error {
+		if sp == nil {
+			return c.send(k, payload)
+		}
+		t0 := time.Now()
+		err := c.send(k, payload)
+		sp.Add(obs.StageNet, time.Since(t0))
+		return err
+	}
+	if err := sendNet(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: cols})); err != nil {
 		return err
 	}
 	var count uint64
 	defer func() {
 		c.srv.counters.rowsStreamed.Add(count)
 		c.stats.rows.Add(count)
+		sp.AddRows(int64(count))
 	}()
 	for off := 0; off < len(rows); off += wire.BatchRows {
 		end := min(off+wire.BatchRows, len(rows))
-		if err := c.send(wire.KindRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: rows[off:end]})); err != nil {
+		if err := sendNet(wire.KindRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: rows[off:end]})); err != nil {
 			return err
 		}
 		count += uint64(end - off)
 	}
-	return c.send(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count}))
+	return sendNet(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, QueryID: sp.ID()}))
 }

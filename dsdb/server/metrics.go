@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/dsdb/obs"
+)
+
+// NewMetricsMux builds the HTTP mux dsdbd serves on -metrics-addr:
+//
+//	/metrics      — the server's counters and histograms in the
+//	                Prometheus text exposition format
+//	/debug/pprof/ — the standard net/http/pprof profiling handlers
+//
+// The pprof handlers are registered explicitly (not via the package's
+// blank-import side effect on http.DefaultServeMux), so the returned
+// mux is self-contained and the process's default mux stays clean.
+func NewMetricsMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// metricsGauges names the stats pairs whose value can go down (or is
+// a point-in-time reading); everything else exported from Pairs is a
+// monotonic counter.
+var metricsGauges = map[string]bool{
+	"uptime_seconds":    true,
+	"conns_active":      true,
+	"queries_in_flight": true,
+}
+
+// serveMetrics renders the Stats snapshot in the Prometheus text
+// exposition format. Scalar pairs become dsdb_<name> counters/gauges;
+// the latency and per-stage histograms are emitted as real Prometheus
+// histograms (cumulative le buckets, _sum in seconds, _count) rather
+// than the flat lat_/stage_ pairs the wire Stats frame carries.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, p := range st.Pairs() {
+		if strings.HasPrefix(p.Name, "lat_") || strings.HasPrefix(p.Name, "stage_") {
+			continue // re-exported below as proper histograms
+		}
+		typ := "counter"
+		if metricsGauges[p.Name] {
+			typ = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE dsdb_%s %s\n", p.Name, typ)
+		fmt.Fprintf(&b, "dsdb_%s %d\n", p.Name, p.Value)
+	}
+	writeHistSeries(&b, "dsdb_query_latency_seconds", "", st.Latency)
+	fmt.Fprintf(&b, "# TYPE dsdb_query_stage_seconds histogram\n")
+	for i, h := range st.Stages {
+		writeHistSeries(&b, "dsdb_query_stage_seconds", fmt.Sprintf("stage=%q", obs.Stage(i).String()), h)
+	}
+	w.Write([]byte(b.String()))
+}
+
+// writeHistSeries emits one histogram's _bucket/_sum/_count series.
+// Prometheus buckets are cumulative; the snapshot's are not, so the
+// running total is built here. labels ("" or `k="v"`) are merged with
+// the le label.
+func writeHistSeries(b *strings.Builder, name, labels string, h obs.HistSnapshot) {
+	if labels == "" {
+		fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	}
+	wrap := func(extra string) string {
+		if labels == "" {
+			return "{" + extra + "}"
+		}
+		return "{" + labels + "," + extra + "}"
+	}
+	plain := ""
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, wrap(fmt.Sprintf("le=%q", obs.BucketSeconds(i))), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, plain, h.Sum.Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, plain, h.Count)
+}

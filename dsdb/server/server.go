@@ -31,11 +31,16 @@
 //
 // Everything the server does is counted: Server.Stats returns a
 // snapshot (connections accepted/refused/slow-killed/idle-killed,
-// queries, rows, bytes, a latency histogram), the same counters
+// queries, rows, bytes, a log-spaced latency histogram plus per-stage
+// histograms from the DB's observability tracer), the same counters
 // answer the wire Stats frame (client.DB.ServerStats), and SHOW
 // virtual tables — "show stats", "show conns", "show tables", "show
-// pool", "show cache", "show wal" — stream them over the normal
-// query protocol, so any wire client can inspect a live server.
+// pool", "show cache", "show wal", "show queries", "show slow" —
+// stream them over the normal query protocol, so any wire client can
+// inspect a live server. NewMetricsMux exposes the same numbers as a
+// Prometheus text endpoint alongside net/http/pprof, and
+// WithSlowQueryThreshold routes slow executions into the tracer's
+// slow ring and structured slow-query log.
 package server
 
 import (
@@ -74,6 +79,7 @@ type config struct {
 	queryTimeout time.Duration
 	writeTimeout time.Duration
 	idleTimeout  time.Duration
+	slowQuery    time.Duration
 	newSession   func(id int) SessionHooks
 }
 
@@ -111,6 +117,16 @@ func WithIdleTimeout(d time.Duration) Option {
 	return func(c *config) { c.idleTimeout = d }
 }
 
+// WithSlowQueryThreshold marks queries slower than d as slow on the
+// DB's observability tracer: they enter the slow-query ring (SHOW
+// SLOW) and, when a slow logger is installed (obs.Tracer.SetSlowLogger
+// — dsdbd's -slow-query-log flag does this), each one is logged as a
+// structured line with its per-stage breakdown. 0 (the default)
+// disables the threshold.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *config) { c.slowQuery = d }
+}
+
 // WithSessionHooks installs a per-session instrumentation factory,
 // called once per accepted connection with a session id that counts up
 // from 1 in accept order.
@@ -120,8 +136,9 @@ func WithSessionHooks(f func(id int) SessionHooks) Option {
 
 // Server serves one dsdb.DB over TCP.
 type Server struct {
-	db  *dsdb.DB
-	cfg config
+	db      *dsdb.DB
+	cfg     config
+	started time.Time
 
 	// drainCh is closed by Shutdown; connection handlers select on it
 	// at every frame boundary, so draining never interrupts an
@@ -147,7 +164,10 @@ func New(db *dsdb.DB, opts ...Option) *Server {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Server{db: db, cfg: cfg, conns: make(map[*conn]struct{}), drainCh: make(chan struct{})}
+	if cfg.slowQuery > 0 {
+		db.Obs().SetSlowThreshold(cfg.slowQuery)
+	}
+	return &Server{db: db, cfg: cfg, started: time.Now(), conns: make(map[*conn]struct{}), drainCh: make(chan struct{})}
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.

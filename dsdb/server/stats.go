@@ -8,38 +8,9 @@ import (
 	"time"
 
 	"repro/dsdb"
+	"repro/dsdb/obs"
 	"repro/dsdb/wire"
 )
-
-// LatencyBucketBounds are the upper bounds of the per-query latency
-// histogram, in ascending order; the last bucket is unbounded. The
-// names in Stats and the stats wire frame derive from these.
-var LatencyBucketBounds = [...]time.Duration{
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-}
-
-// numLatencyBuckets is len(bounds) + 1 for the unbounded tail.
-const numLatencyBuckets = len(LatencyBucketBounds) + 1
-
-// latencyBucketName renders bucket i's stable identifier
-// ("lat_lt_1ms" ... "lat_ge_1s").
-func latencyBucketName(i int) string {
-	if i < len(LatencyBucketBounds) {
-		return "lat_lt_" + fmtBound(LatencyBucketBounds[i])
-	}
-	return "lat_ge_" + fmtBound(LatencyBucketBounds[len(LatencyBucketBounds)-1])
-}
-
-// fmtBound renders a bucket bound compactly (1ms, 10ms, 100ms, 1s).
-func fmtBound(d time.Duration) string {
-	if d < time.Second {
-		return fmt.Sprintf("%dms", d.Milliseconds())
-	}
-	return fmt.Sprintf("%ds", int(d.Seconds()))
-}
 
 // serverStats is the server-wide counter set. Every field is atomic:
 // the hot paths (frame writes, row batches, query completion) touch
@@ -60,20 +31,18 @@ type serverStats struct {
 	rowsStreamed atomic.Uint64
 	bytesWritten atomic.Uint64
 
-	latBuckets [numLatencyBuckets]atomic.Uint64
+	// latency is the end-to-end served-query latency histogram, on the
+	// shared log-spaced obs.Buckets grid (100µs … 10s plus an unbounded
+	// tail) — the same bounds the per-stage histograms use, so a
+	// served-total bucket and an exec-stage bucket line up.
+	latency obs.Histogram
 }
 
-// observe records one finished query's latency bucket. Error and
+// observe records one finished query's latency. Error and
 // cancellation attribution happens where the failure is classified
 // (conn.reportQueryError), not here.
 func (st *serverStats) observe(d time.Duration) {
-	i := 0
-	for ; i < len(LatencyBucketBounds); i++ {
-		if d < LatencyBucketBounds[i] {
-			break
-		}
-	}
-	st.latBuckets[i].Add(1)
+	st.latency.Observe(d)
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -108,10 +77,18 @@ type Stats struct {
 	RowsStreamed uint64
 	BytesWritten uint64
 
-	// LatencyBuckets is the per-query latency histogram: counts of
-	// completed queries under each LatencyBucketBounds entry, with an
-	// unbounded tail bucket.
-	LatencyBuckets [numLatencyBuckets]uint64
+	// Uptime is how long the server has existed (since New).
+	Uptime time.Duration
+
+	// Latency is the end-to-end served-query latency histogram on the
+	// obs.Buckets grid (per-bucket counts are non-cumulative; labels
+	// come from obs.BucketLabel).
+	Latency obs.HistSnapshot
+
+	// Stages are the per-stage duration histograms aggregated across
+	// every observed query on the underlying DB (local and served),
+	// indexed by obs.Stage. All-zero when observability is disabled.
+	Stages [obs.NumStages]obs.HistSnapshot
 }
 
 // Stats snapshots the server's counters. Counters are atomics, so the
@@ -129,9 +106,11 @@ func (s *Server) Stats() Stats {
 		InFlightQueries:  int(s.counters.inFlight.Load()),
 		RowsStreamed:     s.counters.rowsStreamed.Load(),
 		BytesWritten:     s.counters.bytesWritten.Load(),
+		Uptime:           time.Since(s.started),
+		Latency:          s.counters.latency.Snapshot(),
 	}
-	for i := range st.LatencyBuckets {
-		st.LatencyBuckets[i] = s.counters.latBuckets[i].Load()
+	for i := range st.Stages {
+		st.Stages[i] = s.db.Obs().StageSnapshot(obs.Stage(i))
 	}
 	s.mu.Lock()
 	st.ActiveConns = len(s.conns)
@@ -141,9 +120,14 @@ func (s *Server) Stats() Stats {
 
 // Pairs renders the snapshot as the ordered name/value list carried
 // by the wire Stats frame and the SHOW STATS virtual table. Names are
-// stable snake_case identifiers.
+// stable snake_case identifiers. Latency buckets are exported one
+// pair each as "lat_" + obs.BucketLabel(i) — the bucket bounds ride
+// in the names, so a wire client can reconstruct the histogram
+// without compiled-in knowledge of the grid — and each per-stage
+// histogram is summarized as stage_<name>_count / stage_<name>_total_ns.
 func (st Stats) Pairs() []wire.StatPair {
 	pairs := []wire.StatPair{
+		{Name: "uptime_seconds", Value: int64(st.Uptime.Seconds())},
 		{Name: "conns_active", Value: int64(st.ActiveConns)},
 		{Name: "conns_total", Value: int64(st.TotalConns)},
 		{Name: "conns_refused", Value: int64(st.RefusedConns)},
@@ -157,8 +141,15 @@ func (st Stats) Pairs() []wire.StatPair {
 		{Name: "rows_streamed", Value: int64(st.RowsStreamed)},
 		{Name: "bytes_written", Value: int64(st.BytesWritten)},
 	}
-	for i, n := range st.LatencyBuckets {
-		pairs = append(pairs, wire.StatPair{Name: latencyBucketName(i), Value: int64(n)})
+	for i, n := range st.Latency.Counts {
+		pairs = append(pairs, wire.StatPair{Name: "lat_" + obs.BucketLabel(i), Value: int64(n)})
+	}
+	for i, h := range st.Stages {
+		name := obs.Stage(i).String()
+		pairs = append(pairs,
+			wire.StatPair{Name: "stage_" + name + "_count", Value: int64(h.Count)},
+			wire.StatPair{Name: "stage_" + name + "_total_ns", Value: int64(h.Sum)},
+		)
 	}
 	return pairs
 }
@@ -176,12 +167,14 @@ type connStats struct {
 // tables: introspection queryable over the normal protocol, streamed
 // with the same RowHeader/RowBatch/Done frames as any result set.
 //
-// SHOW STATS  — the server counter snapshot (stat, value)
-// SHOW CONNS  — per-connection counters (conn, remote, ...)
-// SHOW TABLES — catalog: name, rows, write epoch, index count
-// SHOW POOL   — buffer pool: frames, pinned, hits, misses
-// SHOW CACHE  — result cache counters (all zero when disabled)
-// SHOW WAL    — durability: durable flag, current WAL segment
+// SHOW STATS   — the server counter snapshot (stat, value)
+// SHOW CONNS   — per-connection counters (conn, remote, ...)
+// SHOW TABLES  — catalog: name, rows, write epoch, index count
+// SHOW POOL    — buffer pool: frames, pinned, hits, misses
+// SHOW CACHE   — result cache counters (all zero when disabled)
+// SHOW WAL     — durability: durable flag, current WAL segment
+// SHOW QUERIES — recent query spans, newest first (qid, stages, ...)
+// SHOW SLOW    — recent slow-query spans, newest first (same shape)
 
 // parseShow recognizes a SHOW statement; ok is false for anything
 // else (which then takes the normal query path).
@@ -265,6 +258,10 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 			kv("expirations", int64(st.Expirations)),
 			kv("admission_rejects", int64(st.AdmissionRejects)),
 		}
+	case "queries":
+		cols, rows = spanRows(s.db.Obs().Recent())
+	case "slow":
+		cols, rows = spanRows(s.db.Obs().Slow())
 	case "wal":
 		cols = []string{"stat", "value"}
 		w := s.db.WALStats()
@@ -277,7 +274,37 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 			kv("seq", int64(w.Seq)),
 		}
 	default:
-		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal)", target)
+		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal, queries, slow)", target)
 	}
 	return cols, rows, nil
+}
+
+// spanRows renders completed query spans (SHOW QUERIES / SHOW SLOW)
+// as a virtual table, newest first. Durations are microseconds: fine
+// enough for cache hits, and integers keep the rows scannable.
+func spanRows(recs []obs.Record) (cols []string, rows [][]dsdb.Value) {
+	cols = []string{
+		"qid", "label", "sql", "rows", "hit", "err",
+		"total_us", "plan_us", "cache_us", "exec_us", "io_us", "wal_us", "net_us",
+	}
+	for _, r := range recs {
+		hit := int64(0)
+		if r.CacheHit {
+			hit = 1
+		}
+		row := []dsdb.Value{
+			dsdb.NewInt(int64(r.ID)),
+			dsdb.NewStr(r.Label),
+			dsdb.NewStr(r.SQL),
+			dsdb.NewInt(r.Rows),
+			dsdb.NewInt(hit),
+			dsdb.NewStr(r.Err),
+			dsdb.NewInt(r.Total.Microseconds()),
+		}
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			row = append(row, dsdb.NewInt(r.Stages[st].Microseconds()))
+		}
+		rows = append(rows, row)
+	}
+	return cols, rows
 }

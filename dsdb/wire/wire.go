@@ -31,8 +31,10 @@ import (
 // Hello carries the client's version; the server refuses mismatches.
 // Revision 2 added the Done frame's flags byte (cache-hit
 // attribution). Revision 3 added the Stats/StatsResult introspection
-// frames and the slow_client/idle_timeout error codes.
-const ProtocolVersion = 3
+// frames and the slow_client/idle_timeout error codes. Revision 4
+// added the Done frame's query id (the server-side observability
+// handle; correlates a client result with SHOW queries / SHOW slow).
+const ProtocolVersion = 4
 
 // Magic opens every Hello frame ("DSDB").
 const Magic = 0x44534442
@@ -71,8 +73,9 @@ const (
 	// KindRowBatch carries up to BatchRows result rows (server →
 	// client).
 	KindRowBatch
-	// KindDone closes a result stream (server → client): row count and
-	// execution flags (DoneFlagCacheHit).
+	// KindDone closes a result stream (server → client): row count,
+	// execution flags (DoneFlagCacheHit), and the server-assigned
+	// query id.
 	KindDone
 	// KindError reports a failure (server → client): code, message. For
 	// query-level errors the connection remains usable.
@@ -642,11 +645,15 @@ func DecodeRowBatch(p []byte) (RowBatch, error) {
 // latencies with it.
 const DoneFlagCacheHit uint8 = 1 << 0
 
-// Done closes a result stream: the row count, plus execution flags
-// attributing how the result was produced.
+// Done closes a result stream: the row count, execution flags
+// attributing how the result was produced, and the server-assigned
+// query id — the handle under which the execution appears in the
+// server's SHOW queries / SHOW slow virtual tables and slow-query
+// log.
 type Done struct {
 	RowCount uint64
 	Flags    uint8
+	QueryID  uint64
 }
 
 // EncodeDone builds a Done payload.
@@ -654,13 +661,14 @@ func EncodeDone(dn Done) []byte {
 	var e Encoder
 	e.U64(dn.RowCount)
 	e.U8(dn.Flags)
+	e.U64(dn.QueryID)
 	return e.Bytes()
 }
 
 // DecodeDone parses a Done payload.
 func DecodeDone(p []byte) (Done, error) {
 	d := NewDecoder(p)
-	dn := Done{RowCount: d.U64(), Flags: d.U8()}
+	dn := Done{RowCount: d.U64(), Flags: d.U8(), QueryID: d.U64()}
 	return dn, d.End()
 }
 

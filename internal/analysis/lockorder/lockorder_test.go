@@ -9,7 +9,7 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	analyzertest.Run(t, "testdata", lockorder.Analyzer, "buffer", "engine", "qcache", "server")
+	analyzertest.Run(t, "testdata", lockorder.Analyzer, "buffer", "engine", "qcache", "server", "obs")
 }
 
 // TestScratchOutOfOrder pins the acceptance scenario: a deliberate

@@ -1,0 +1,44 @@
+// Package obs is a testdata stand-in for the observability tracer:
+// Tracer matches the lockrank entry obs.tracer, a leaf. Span finish
+// records into the rings with nothing acquired under the mutex — the
+// slow-query logger and any engine work run strictly outside it.
+package obs
+
+import (
+	"sync"
+
+	"buffer"
+)
+
+type Tracer struct {
+	mu   sync.Mutex
+	ring []int
+	pos  int
+	pool *buffer.Manager
+}
+
+// record is the real Tracer.finish shape: a leaf acquisition of the
+// ring mutex, with no user code under it.
+func (t *Tracer) record(v int) {
+	t.mu.Lock()
+	t.ring[t.pos%len(t.ring)] = v
+	t.pos++
+	t.mu.Unlock()
+}
+
+// legalObserveThenRecord touches the pool only before the ring mutex:
+// the record acquisition is a fresh, held-nothing leaf.
+func (t *Tracer) legalObserveThenRecord() {
+	v := t.pool.Get()
+	t.record(v)
+}
+
+// badPinUnderRings inverts the hierarchy: obs.tracer is a leaf, so
+// reaching down into the buffer pool while the ring mutex is held is
+// out of order (the violation crosses a package boundary — only Get's
+// exported fact reveals it here).
+func (t *Tracer) badPinUnderRings() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pool.Get() // want "call to Get may acquire buffer.pool .exclusive. while obs.tracer is held .exclusive.: lock-rank order violated"
+}

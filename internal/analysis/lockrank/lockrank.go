@@ -141,7 +141,7 @@ var Table = []Lock{
 		ReleaseShared: []string{"runlock"},
 		Before: []string{
 			"buffer.pool", "catalog.catalog", "storage.store",
-			"wal.writer", "qcache.cache", "probe.counters",
+			"wal.writer", "qcache.cache", "probe.counters", "obs.tracer",
 		},
 		SharedReentrant: true,
 		Doc: "The engine latch: shared for query execution, exclusive for " +
@@ -221,6 +221,19 @@ var Table = []Lock{
 		Field:  "mu",
 		Before: nil,
 		Doc:    "dsdb.DB session-default mutex (tracer, parallelism); a leaf.",
+	},
+	{
+		Name:     "obs.tracer",
+		Pkg:      "repro/dsdb/obs",
+		Type:     "Tracer",
+		Field:    "mu",
+		Before:   nil,
+		NoTracer: true,
+		Doc: "Observability tracer ring mutex (recent/slow query records). " +
+			"A leaf: span finish runs after the engine latch is released, and " +
+			"the caller-supplied slow-query logger is invoked strictly after " +
+			"the rings are unlocked — no user code, probe emission or engine " +
+			"re-entry under it.",
 	},
 }
 

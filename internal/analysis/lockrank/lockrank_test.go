@@ -45,6 +45,8 @@ func TestMayAcquire(t *testing.T) {
 		{"server.mu", Exclusive, "server.qmu", Exclusive, true},  // Shutdown cancels per-conn queries
 		{"server.qmu", Exclusive, "server.mu", Exclusive, false}, // reverse order deadlocks against Shutdown
 		{"server.mu", Exclusive, "engine.latch", Shared, false},  // serving mutexes never wrap engine calls
+		{"engine.latch", Shared, "obs.tracer", Exclusive, true},  // span finish may record under the tracer rings
+		{"obs.tracer", Exclusive, "engine.latch", Shared, false}, // the tracer never re-enters the engine
 	}
 	for _, c := range cases {
 		if got := MayAcquire(c.held, c.heldMode, c.next, c.nextMode); got != c.want {
@@ -69,6 +71,7 @@ func TestEveryMutexBearingTypeIsRanked(t *testing.T) {
 		filepath.Join(root, "internal", "db"),
 		filepath.Join(root, "dsdb", "qcache"),
 		filepath.Join(root, "dsdb", "server"),
+		filepath.Join(root, "dsdb", "obs"),
 	}
 	// dsdb's own root package (not client/load: their mutexes guard
 	// per-session protocol state on the dialing side and are outside

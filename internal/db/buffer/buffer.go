@@ -23,10 +23,21 @@ package buffer
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/db/probe"
 	"repro/internal/db/storage"
 )
+
+// ioWaitRecorder is implemented by probe tracers that carry a query
+// observability span (the executor's span tracer): Get attributes the
+// time a session spends blocked on pool IO — evict-flushes, storage
+// reads, and waits on another session's in-flight read — through it.
+// Declared locally so the pool does not depend on the observability
+// package.
+type ioWaitRecorder interface {
+	AddIOWait(d time.Duration)
+}
 
 type key struct{ file, page int }
 
@@ -132,6 +143,12 @@ func New(store *storage.Store, n int) *Manager {
 // frame's latch, so misses on different pages overlap their IO.
 func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	tr = probe.Or(tr)
+	// A tracer carrying a query span (the executor's span tracer)
+	// additionally receives this call's IO wait. Declared structurally
+	// (ioWaitRecorder) so the pool stays free of the observability
+	// package; only the slow paths below touch the clock — hot hits
+	// pay nothing.
+	rec, observed := tr.(ioWaitRecorder)
 	k := key{file, page}
 	m.mu.Lock()
 	if i, ok := m.lookup[k]; ok {
@@ -145,7 +162,14 @@ func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 			m.mu.Unlock()
 			tr.Emit(probe.BufGetEnter)
 			tr.Emit(probe.BufTableLookup)
+			var waitStart time.Time
+			if observed {
+				waitStart = time.Now()
+			}
 			<-ready
+			if observed {
+				rec.AddIOWait(time.Since(waitStart))
+			}
 			m.mu.Lock()
 			if err := f.loadErr; err != nil {
 				f.pins--
@@ -211,6 +235,12 @@ func (m *Manager) Get(tr probe.Tracer, file, page int) (Buf, error) {
 	waitFlush := m.flushing[k]
 	m.mu.Unlock()
 	emitAll(tr, evs)
+	if observed {
+		// Everything from here to any return is miss IO: the victim
+		// flush, waiting out a racing flush of this page, and the read.
+		ioStart := time.Now()
+		defer func() { rec.AddIOWait(time.Since(ioStart)) }()
+	}
 
 	// IO under the frame latch only: evict-flush of the dirty victim,
 	// then the read that fills the frame. Other frames' misses proceed

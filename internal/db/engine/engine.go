@@ -18,7 +18,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/dsdb/obs"
 	"repro/internal/db/access"
 	"repro/internal/db/buffer"
 	"repro/internal/db/catalog"
@@ -270,6 +272,14 @@ func (db *DB) indexInsertOne(ix *catalog.Index, vals []value.Value, tid storage.
 // or not at all, which is also what lets durable mode journal the row
 // up front and replay the record unconditionally on recovery.
 func (db *DB) Insert(table string, row []value.Value) error {
+	return db.InsertSpanned(table, row, nil)
+}
+
+// InsertSpanned is Insert with an observability span attached: the
+// WAL append — the durability fsync, the dominant cost of a durable
+// insert — is timed into the span's WAL stage. A nil span inserts
+// unobserved at no extra cost.
+func (db *DB) InsertSpanned(table string, row []value.Value, sp *obs.Span) error {
 	db.latch.lock()
 	defer db.latch.unlock()
 	if db.failed != nil {
@@ -298,7 +308,15 @@ func (db *DB) Insert(table string, row []value.Value) error {
 		if err := access.CheckTupleSize(data); err != nil {
 			return err
 		}
-		if err := db.wal.Append(wal.Insert{Table: table, Tuple: data}); err != nil {
+		var walStart time.Time
+		if sp != nil {
+			walStart = time.Now()
+		}
+		err := db.wal.Append(wal.Insert{Table: table, Tuple: data})
+		if sp != nil {
+			sp.Add(obs.StageWAL, time.Since(walStart))
+		}
+		if err != nil {
 			return err
 		}
 		logged = true

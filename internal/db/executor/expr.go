@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/dsdb/obs"
 	"repro/internal/db/probe"
 	"repro/internal/db/value"
 )
@@ -41,6 +42,13 @@ type Ctx struct {
 	// this context and must be safe for concurrent use — a
 	// probe.CountingTracer is; a trace-recording session is not.
 	WorkerTracer probe.Tracer
+	// Span is the current execution's observability span (nil when
+	// unobserved). Set per-execution via SetSpan, which also wraps Tr
+	// so the buffer pool can attribute IO waits to it (span.go).
+	Span *obs.Span
+	// base is the unwrapped session tracer SetSpan restores when the
+	// span detaches.
+	base probe.Tracer
 }
 
 // NewCtx returns an execution context with the given tracer (nil means

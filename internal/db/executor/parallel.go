@@ -112,8 +112,9 @@ func (s *ParallelScan) worker(i, lo, hi int, part chan<- []Tuple) {
 	defer s.wg.Done()
 	defer close(part)
 	// Workers emit into the context's concurrency-safe worker tracer
-	// (usually a counting tracer), never into the session tracer.
-	wc := &Ctx{Tr: probe.Or(s.C.WorkerTracer), Interrupt: s.C.Interrupt}
+	// (usually a counting tracer), never into the session tracer. The
+	// session's span rides along so worker IO waits are attributed.
+	wc := &Ctx{Tr: workerTracer(s.C), Interrupt: s.C.Interrupt}
 	scan := s.Heap.BeginRangeScan(lo, hi)
 	defer scan.Close()
 	batch := make([]Tuple, 0, batchTuples)

@@ -1,0 +1,53 @@
+package executor
+
+import (
+	"time"
+
+	"repro/dsdb/obs"
+	"repro/internal/db/probe"
+)
+
+// spanTracer forwards probe events to the session tracer unchanged
+// while carrying the query's observability span. Deep kernel layers
+// that already receive the probe tracer — the buffer pool above all —
+// attribute their IO waits to the span by type-asserting the
+// AddIOWait method, so no access-method signature changes for
+// observability.
+type spanTracer struct {
+	inner probe.Tracer
+	sp    *obs.Span
+}
+
+// Emit implements probe.Tracer.
+func (t spanTracer) Emit(id probe.ID) { t.inner.Emit(id) }
+
+// AddIOWait attributes buffer-pool IO wait to the span. Safe from
+// parallel scan workers: span stage counters are atomic.
+func (t spanTracer) AddIOWait(d time.Duration) { t.sp.Add(obs.StageIO, d) }
+
+// SetSpan attaches (or, with nil, detaches) the observability span
+// for the next execution, wrapping the context's tracer so the buffer
+// pool can attribute IO waits (see spanTracer). Statements are
+// single-threaded, so swapping the tracer between executions is safe.
+func (c *Ctx) SetSpan(sp *obs.Span) {
+	if c.base == nil {
+		c.base = c.Tr
+	}
+	c.Span = sp
+	if sp == nil {
+		c.Tr = c.base
+	} else {
+		c.Tr = spanTracer{inner: c.base, sp: sp}
+	}
+}
+
+// workerTracer builds a parallel-scan worker's tracer: the
+// concurrency-safe worker tracer, wrapped to carry the session's span
+// (if any) so worker-side IO waits are attributed too.
+func workerTracer(c *Ctx) probe.Tracer {
+	tr := probe.Or(c.WorkerTracer)
+	if c.Span == nil {
+		return tr
+	}
+	return spanTracer{inner: tr, sp: c.Span}
+}
