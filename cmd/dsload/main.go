@@ -15,6 +15,7 @@
 //	dsload -addr 127.0.0.1:5454 -scenario slowreader -slow-clients 2  # liveness probe
 //	dsload -addr 127.0.0.1:5454 -scenario zipf -zipf-s 2 -server-stats
 //	dsload -addr 127.0.0.1:5454 -arrival-rate 200 -scenario burst -burst-factor 8
+//	dsload -addr 127.0.0.1:5454 -mix test -explain-worst  # ANALYZE the slowest query
 //
 // The -scenario flag layers adversarial traffic over the mix:
 // slowreader adds stalled connections and reports how many the
@@ -26,6 +27,9 @@
 // summary (throughput, latency percentiles, hit ratio, per-query
 // stats, and — when the server is reachable for a stats snapshot —
 // its counters and per-stage means) to the given path.
+// -explain-worst re-runs the query with the worst max latency of the
+// measured phase under EXPLAIN ANALYZE and prints the annotated plan,
+// so a slow run ends with the operator-level evidence in hand.
 package main
 
 import (
@@ -35,8 +39,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/dsdb"
 	"repro/dsdb/client"
 	"repro/dsdb/load"
 	"repro/dsdb/wire"
@@ -61,6 +68,7 @@ func main() {
 	burstPeriod := flag.Duration("burst-period", 0, "burst: burst cycle period (0 = default 1s)")
 	serverStats := flag.Bool("server-stats", false, "after the run, fetch and print the server's counter snapshot")
 	reportJSON := flag.String("report-json", "", "write the machine-readable run summary (JSON) to this path")
+	explainWorst := flag.Bool("explain-worst", false, "after the run, EXPLAIN ANALYZE the query with the worst max latency and print the plan")
 	flag.Parse()
 
 	mix, err := load.ParseMix(*mixFlag)
@@ -126,4 +134,58 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "dsload: wrote JSON report to %s\n", *reportJSON)
 	}
+	if *explainWorst {
+		if err := explainWorstQuery(ctx, *addr, sum); err != nil {
+			log.Fatalf("dsload: -explain-worst: %v", err)
+		}
+	}
+}
+
+// explainWorstQuery picks the query with the largest observed max
+// latency from the run summary, re-runs it on a fresh connection under
+// EXPLAIN ANALYZE, and prints the annotated plan. One extra execution
+// after the measured phase — the analyzed run is not representative of
+// the worst sample (caches are warm by now), but the plan shape and
+// the per-operator cost split are.
+func explainWorstQuery(ctx context.Context, addr string, sum *load.Summary) error {
+	var worst *load.QueryStat
+	for i := range sum.PerQuery {
+		q := &sum.PerQuery[i]
+		if q.Count == 0 {
+			continue
+		}
+		if worst == nil || q.Lat.Max > worst.Lat.Max {
+			worst = q
+		}
+	}
+	if worst == nil {
+		return fmt.Errorf("no measured queries in the run")
+	}
+	qn, err := strconv.Atoi(strings.TrimPrefix(worst.Label, "Q"))
+	if err != nil {
+		return fmt.Errorf("unrecognized query label %q", worst.Label)
+	}
+	text, ok := dsdb.TPCDQuery(qn)
+	if !ok {
+		return fmt.Errorf("no TPC-D query %d", qn)
+	}
+	db, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	rows, err := db.QueryLabeled(ctx, worst.Label+"-explain", "explain analyze "+text)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	fmt.Printf("worst query %s (max %s over %d runs), EXPLAIN ANALYZE:\n",
+		worst.Label, worst.Lat.Max.Round(time.Microsecond), worst.Count)
+	for rows.Next() {
+		vals := rows.Values()
+		if len(vals) > 0 {
+			fmt.Println(vals[0].String())
+		}
+	}
+	return rows.Err()
 }

@@ -7,6 +7,8 @@
 //	dsquery -sql "select count(*) from lineitem where l_quantity < 10"
 //	dsquery -q 6 -result-cache-bytes 4194304 -repeat 3   # repeat 2+ hit the cache
 //	dsquery -q 6 -data-dir /tmp/dsdb   # first run builds the dir, later runs warm-start
+//	dsquery -q 3 -explain              # print the plan without executing
+//	dsquery -q 3 -analyze              # execute under per-operator instrumentation
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache budget in bytes (0 = disabled)")
 	repeat := flag.Int("repeat", 1, "run the query this many times (rows printed once; repeats show cache hits)")
 	dataDir := flag.String("data-dir", "", "durable data directory: first run builds and checkpoints it, later runs warm-start without reloading TPC-D")
+	explain := flag.Bool("explain", false, "print the query plan instead of executing (EXPLAIN)")
+	analyze := flag.Bool("analyze", false, "execute under per-operator instrumentation and print the annotated plan (EXPLAIN ANALYZE)")
 	flag.Parse()
 
 	query := *text
@@ -40,6 +44,12 @@ func main() {
 			log.Fatalf("no TPC-D query %d; use -q or -sql", *qn)
 		}
 		query = q
+	}
+	switch {
+	case *analyze:
+		query = "explain analyze " + query
+	case *explain:
+		query = "explain " + query
 	}
 	kind := dsdb.BTree
 	if *hash {

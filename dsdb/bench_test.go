@@ -54,6 +54,33 @@ func benchmarkQuery(b *testing.B, parallelism int) {
 
 func BenchmarkQuerySerial(b *testing.B) { benchmarkQuery(b, 1) }
 
+// BenchmarkQueryAnalyze executes the same query under EXPLAIN ANALYZE.
+// The delta against BenchmarkQuerySerial is the per-operator
+// instrumentation cost — paid only when analyzing, since the ordinary
+// path plans no Instrumented wrappers and keeps its tracer chain
+// unchanged (see executor.SetAnalyze).
+func BenchmarkQueryAnalyze(b *testing.B) {
+	db := benchOpen(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Query(context.Background(), "explain analyze "+benchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+		if n < 2 {
+			b.Fatalf("plan has %d lines", n)
+		}
+	}
+}
+
 // benchCachedDB is the result-cached twin of benchDB (its own
 // database: caching changes execution, so the uncached benchmarks
 // must not share it).

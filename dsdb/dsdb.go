@@ -10,6 +10,13 @@
 //	rows, err := db.Query(ctx, "select sum(l_extendedprice) from lineitem")
 //	for rows.Next() { ... rows.Scan(&v) ... }
 //
+// Prefixing a select with "explain" returns the chosen plan as rows
+// (one line per operator); "explain analyze" executes it under
+// per-operator instrumentation and annotates each operator with its
+// actual row count, loop count, wall/self time and buffer-pool
+// traffic. See the README's Observability section for a worked
+// example.
+//
 // This package and dsdb/stcpipe are the only sanctioned entry points;
 // everything under internal/ is implementation.
 package dsdb
@@ -486,11 +493,17 @@ type WALStats struct {
 	// durable).
 	Durable bool
 	Seq     uint64
+	// Appends and Fsyncs are the log writer's lifetime counters:
+	// records appended and segment fsyncs (both 0 when not durable).
+	Appends uint64
+	Fsyncs  uint64
 }
 
 // WALStats snapshots the write-ahead log state.
 func (db *DB) WALStats() WALStats {
-	return WALStats{Durable: db.eng.Durable(), Seq: db.eng.WALSeq()}
+	ctr := db.eng.WALCounters()
+	return WALStats{Durable: db.eng.Durable(), Seq: db.eng.WALSeq(),
+		Appends: ctr.Appends, Fsyncs: ctr.Fsyncs}
 }
 
 // CreateTable registers a table with the given columns.

@@ -181,6 +181,10 @@ type Span struct {
 	// errMsg is written by the execution's owning goroutine before End
 	// and read only by End; no synchronization needed beyond that.
 	errMsg string
+	// topOp names the dominant (largest self-time) operator when the
+	// query ran under EXPLAIN ANALYZE instrumentation; same ownership
+	// discipline as errMsg.
+	topOp string
 }
 
 // ID returns the span's query id (0 for a nil span).
@@ -236,6 +240,15 @@ func (s *Span) SetErr(err error) {
 	s.errMsg = err.Error()
 }
 
+// SetTopOp records the dominant operator of an EXPLAIN ANALYZE
+// execution. Call before End, from the execution's goroutine.
+func (s *Span) SetTopOp(op string) {
+	if s == nil || op == "" {
+		return
+	}
+	s.topOp = op
+}
+
 // End finishes the span: the total is measured, the contained IO/WAL
 // waits are subtracted out of the exec stage (stages become disjoint),
 // the record is published to the tracer's rings and histograms, slow
@@ -260,6 +273,9 @@ type Record struct {
 	Rows     int64
 	CacheHit bool
 	Err      string
+	// TopOp is the dominant operator (largest self time) when the
+	// query ran under EXPLAIN ANALYZE instrumentation; "" otherwise.
+	TopOp string
 }
 
 // LogLine renders the record as one structured key=value line — the
@@ -272,6 +288,9 @@ func (r Record) LogLine() string {
 	}
 	if r.Err != "" {
 		fmt.Fprintf(&b, " err=%q", r.Err)
+	}
+	if r.TopOp != "" {
+		fmt.Fprintf(&b, " top_op=%q", r.TopOp)
 	}
 	fmt.Fprintf(&b, " sql=%q", r.SQL)
 	return b.String()
@@ -374,6 +393,7 @@ func (t *Tracer) finish(s *Span) {
 		Rows:     s.rows.Load(),
 		CacheHit: s.hit.Load(),
 		Err:      s.errMsg,
+		TopOp:    s.topOp,
 	}
 	for i := range rec.Stages {
 		rec.Stages[i] = time.Duration(s.stages[i].Load())
@@ -434,6 +454,7 @@ func (t *Tracer) finish(s *Span) {
 		s.hit.Store(false)
 	}
 	s.errMsg = ""
+	s.topOp = ""
 	// ended stays true until Begin re-arms it, so a late duplicate End
 	// on a recycled span stays a no-op instead of corrupting the pool.
 	t.pool.Put(s)

@@ -68,6 +68,12 @@ func (db *DB) PrepareTraced(tr Tracer, query string) (*Stmt, error) {
 // prepare compiles under the shared engine latch: planning reads the
 // catalog and access-method maps, which DDL mutates exclusively.
 func (db *DB) prepare(tr Tracer, parallelism int, query string) (*Stmt, error) {
+	if mode, _ := sql.SplitExplain(query); mode != sql.ExplainNone {
+		// A prepared EXPLAIN would freeze one compilation's plan text
+		// and, for ANALYZE, share instrumented state across executions;
+		// run it through Query instead.
+		return nil, fmt.Errorf("dsdb: EXPLAIN cannot be prepared; run it with Query")
+	}
 	release := db.eng.BeginRead()
 	defer release()
 	c := executor.NewCtx(tr)
@@ -555,6 +561,9 @@ func (db *DB) QueryTraced(ctx context.Context, tr Tracer, query string) (*Rows, 
 // sent over the wire (dsload's "Q9", stcpipe's phase markers).
 func (db *DB) QueryObserved(ctx context.Context, tr Tracer, label, query string) (*Rows, error) {
 	sp := db.obs.Begin(label, query)
+	if mode, rest := sql.SplitExplain(query); mode != sql.ExplainNone {
+		return db.explainQuery(ctx, tr, sp, mode, rest)
+	}
 	if r, ok := db.cachedQuery(ctx, query, sp); ok {
 		return r, nil
 	}

@@ -1,0 +1,115 @@
+package server_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+)
+
+// TestExplainAnalyzeOverWire is the serving acceptance for EXPLAIN:
+// the annotated operator tree flows to a wire client as ordinary rows
+// (no new frames), and the execution's dominant operator lands in the
+// server's recent ring under the client-visible query id.
+func TestExplainAnalyzeOverWire(t *testing.T) {
+	db, _, addr := testServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q, _ := dsdb.TPCDQuery(3)
+	rows, err := c.QueryLabeled(context.Background(), "wire-explain", "explain analyze "+q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := rows.Columns(); len(cols) != 1 || cols[0] != dsdb.ExplainColumn {
+		t.Fatalf("EXPLAIN columns over the wire = %v, want [%s]", cols, dsdb.ExplainColumn)
+	}
+	var lines []string
+	for rows.Next() {
+		lines = append(lines, rows.Values()[0].S)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	qid := rows.QueryID()
+	rows.Close()
+	if len(lines) < 3 {
+		t.Fatalf("plan tree has %d lines, want a real operator tree:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	annotated := 0
+	for _, l := range lines {
+		if strings.Contains(l, "actual rows=") {
+			annotated++
+		}
+	}
+	if annotated < 3 {
+		t.Fatalf("only %d operator lines carry counters:\n%s", annotated, strings.Join(lines, "\n"))
+	}
+
+	// The span ends just after the Done frame; poll for its record.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, r := range db.Obs().Recent() {
+			if r.ID != qid {
+				continue
+			}
+			if r.Label != "wire-explain" {
+				t.Fatalf("record label = %q, want wire-explain", r.Label)
+			}
+			if r.TopOp == "" {
+				t.Fatal("served ANALYZE record carries no top_op")
+			}
+			if !strings.Contains(strings.Join(lines, "\n"), r.TopOp) {
+				t.Fatalf("top_op %q is not in the served plan:\n%s", r.TopOp, strings.Join(lines, "\n"))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query %d never reached the recent ring", qid)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExplainPlanOverWire: the non-ANALYZE form serves the bare shape,
+// with no counter suffixes.
+func TestExplainPlanOverWire(t *testing.T) {
+	_, _, addr := testServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q, _ := dsdb.TPCDQuery(6)
+	rows, err := c.Query(context.Background(), "explain "+q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		if l := rows.Values()[0].S; strings.Contains(l, "actual rows=") {
+			t.Fatalf("plain EXPLAIN line carries runtime counters: %q", l)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShowWALCounters: the SHOW wal virtual table reports the WAL's
+// append and fsync work (zero on this non-durable server, but the rows
+// must exist for operators to find).
+func TestShowWALCounters(t *testing.T) {
+	_, _, addr := testServer(t)
+	out := fetchShow(t, addr, "wal")
+	for _, stat := range []string{"durable", "seq", "appends", "fsyncs"} {
+		if !strings.Contains(out, stat+"\t") {
+			t.Errorf("SHOW wal misses %q:\n%s", stat, out)
+		}
+	}
+}

@@ -58,12 +58,34 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# TYPE dsdb_%s %s\n", p.Name, typ)
 		fmt.Fprintf(&b, "dsdb_%s %d\n", p.Name, p.Value)
 	}
+	// Kernel counters beyond the serving stats: buffer-pool traffic,
+	// result-cache outcomes and WAL durability work, so one scrape
+	// covers the full storage hierarchy (satellite of the EXPLAIN PR).
+	p := s.db.PoolStats()
+	writeCounter(&b, "dsdb_buffer_pool_hits_total", int64(p.Hits))
+	writeCounter(&b, "dsdb_buffer_pool_misses_total", int64(p.Misses))
+	if cst, enabled := s.db.ResultCacheStats(); enabled {
+		writeCounter(&b, "dsdb_result_cache_hits_total", int64(cst.Hits))
+		writeCounter(&b, "dsdb_result_cache_misses_total", int64(cst.Misses))
+		writeCounter(&b, "dsdb_result_cache_evictions_total", int64(cst.Evictions))
+		writeCounter(&b, "dsdb_result_cache_invalidations_total", int64(cst.Invalidations))
+		writeCounter(&b, "dsdb_result_cache_expirations_total", int64(cst.Expirations))
+	}
+	wst := s.db.WALStats()
+	writeCounter(&b, "dsdb_wal_appends_total", int64(wst.Appends))
+	writeCounter(&b, "dsdb_wal_fsyncs_total", int64(wst.Fsyncs))
 	writeHistSeries(&b, "dsdb_query_latency_seconds", "", st.Latency)
 	fmt.Fprintf(&b, "# TYPE dsdb_query_stage_seconds histogram\n")
 	for i, h := range st.Stages {
 		writeHistSeries(&b, "dsdb_query_stage_seconds", fmt.Sprintf("stage=%q", obs.Stage(i).String()), h)
 	}
 	w.Write([]byte(b.String()))
+}
+
+// writeCounter emits one monotonic counter series.
+func writeCounter(b *strings.Builder, name string, v int64) {
+	fmt.Fprintf(b, "# TYPE %s counter\n", name)
+	fmt.Fprintf(b, "%s %d\n", name, v)
 }
 
 // writeHistSeries emits one histogram's _bucket/_sum/_count series.

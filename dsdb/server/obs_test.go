@@ -136,6 +136,7 @@ func TestShowQueriesAndSlowGolden(t *testing.T) {
 	sp.Add(obs.StageExec, 40*time.Millisecond)
 	sp.Add(obs.StageIO, 5*time.Millisecond)
 	sp.Add(obs.StageWAL, time.Millisecond)
+	sp.SetTopOp("Seq Scan on t")
 	sp.SetErr(errors.New("boom"))
 	sp.End()
 
@@ -305,6 +306,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE dsdb_queries_in_flight gauge",
 		"# TYPE dsdb_uptime_seconds gauge",
 		"# TYPE dsdb_rows_streamed counter",
+		"# TYPE dsdb_buffer_pool_hits_total counter",
+		"# TYPE dsdb_buffer_pool_misses_total counter",
+		"# TYPE dsdb_wal_appends_total counter",
+		"# TYPE dsdb_wal_fsyncs_total counter",
 		"# TYPE dsdb_query_latency_seconds histogram",
 		"# TYPE dsdb_query_stage_seconds histogram",
 		`dsdb_query_latency_seconds_bucket{le="+Inf"} `,
@@ -322,6 +327,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	// The flat wire-frame pairs must NOT leak: histograms replace them.
 	if strings.Contains(text, "dsdb_lat_") || strings.Contains(text, "dsdb_stage_") {
 		t.Errorf("/metrics leaks flat lat_/stage_ pairs:\n%s", text)
+	}
+	// testServer runs without a result cache: its series must not
+	// appear as misleading zeros.
+	if strings.Contains(text, "dsdb_result_cache_") {
+		t.Errorf("/metrics exports result-cache series on a cacheless server:\n%s", text)
 	}
 
 	resp, err = http.Get(ts.URL + "/debug/pprof/")

@@ -272,6 +272,8 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 		rows = [][]dsdb.Value{
 			kv("durable", d),
 			kv("seq", int64(w.Seq)),
+			kv("appends", int64(w.Appends)),
+			kv("fsyncs", int64(w.Fsyncs)),
 		}
 	default:
 		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal, queries, slow)", target)
@@ -281,11 +283,14 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 
 // spanRows renders completed query spans (SHOW QUERIES / SHOW SLOW)
 // as a virtual table, newest first. Durations are microseconds: fine
-// enough for cache hits, and integers keep the rows scannable.
+// enough for cache hits, and integers keep the rows scannable. top_op
+// names the dominant operator for queries that ran under EXPLAIN
+// ANALYZE instrumentation ("" otherwise).
 func spanRows(recs []obs.Record) (cols []string, rows [][]dsdb.Value) {
 	cols = []string{
 		"qid", "label", "sql", "rows", "hit", "err",
 		"total_us", "plan_us", "cache_us", "exec_us", "io_us", "wal_us", "net_us",
+		"top_op",
 	}
 	for _, r := range recs {
 		hit := int64(0)
@@ -304,6 +309,7 @@ func spanRows(recs []obs.Record) (cols []string, rows [][]dsdb.Value) {
 		for st := obs.Stage(0); st < obs.NumStages; st++ {
 			row = append(row, dsdb.NewInt(r.Stages[st].Microseconds()))
 		}
+		row = append(row, dsdb.NewStr(r.TopOp))
 		rows = append(rows, row)
 	}
 	return cols, rows

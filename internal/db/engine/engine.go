@@ -380,6 +380,16 @@ func (db *DB) WALSeq() uint64 {
 	return db.wal.Seq()
 }
 
+// WALCounters returns the write-ahead log's lifetime append/fsync
+// counters (zero on a non-durable database). Safe without the engine
+// latch: the counters are atomic.
+func (db *DB) WALCounters() wal.Counters {
+	if db.wal == nil {
+		return wal.Counters{}
+	}
+	return db.wal.Counters()
+}
+
 // Heap returns a table's heap access method (call under BeginRead).
 func (db *DB) Heap(table string) *access.Heap { return db.heaps[table] }
 

@@ -46,9 +46,21 @@ type Ctx struct {
 	// unobserved). Set per-execution via SetSpan, which also wraps Tr
 	// so the buffer pool can attribute IO waits to it (span.go).
 	Span *obs.Span
-	// base is the unwrapped session tracer SetSpan restores when the
-	// span detaches.
+	// base is the unwrapped session tracer the tracer chain is rebuilt
+	// from whenever the span or analyze mode changes (see retrace).
 	base probe.Tracer
+
+	// curOp points at the stats block of the operator currently
+	// executing under EXPLAIN ANALYZE instrumentation (instrument.go);
+	// nil on every uninstrumented execution. Only the session
+	// goroutine reads or writes it — parallel-scan workers capture the
+	// then-current pointer at Open time instead.
+	curOp *OpStats
+	// analyzing is set by SetAnalyze for EXPLAIN ANALYZE executions:
+	// the tracer chain then carries an analyzeTracer that attributes
+	// buffer-pool traffic to curOp. Off on every ordinary query, so
+	// the non-analyzing hot path pays nothing.
+	analyzing bool
 }
 
 // NewCtx returns an execution context with the given tracer (nil means

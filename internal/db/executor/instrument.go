@@ -1,0 +1,136 @@
+package executor
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db/catalog"
+)
+
+// OpStats accumulates one operator's runtime counters under EXPLAIN
+// ANALYZE. Rows/Loops/Wall are touched only by the session goroutine
+// (the Volcano tree is single-threaded); the buffer-pool counters are
+// atomic because parallel-scan workers feed them too (see opTracer).
+type OpStats struct {
+	// Rows is the number of tuples the operator returned.
+	Rows int64
+	// Loops counts Open calls: 1 for most nodes, 1+rescans for a
+	// nested-loop inner.
+	Loops int64
+	// Wall is cumulative wall time inside the operator including its
+	// children (self time is derived at render: Wall − Σ child Wall).
+	Wall time.Duration
+
+	bufHits   atomic.Int64
+	bufMisses atomic.Int64
+	ioWait    atomic.Int64
+}
+
+// BufHits returns buffer-pool page hits attributed to the operator.
+func (s *OpStats) BufHits() int64 { return s.bufHits.Load() }
+
+// BufMisses returns buffer-pool page misses (disk reads) attributed
+// to the operator.
+func (s *OpStats) BufMisses() int64 { return s.bufMisses.Load() }
+
+// IOWait returns cumulative buffer-pool IO wait attributed to the
+// operator.
+func (s *OpStats) IOWait() time.Duration { return time.Duration(s.ioWait.Load()) }
+
+// Instrumented wraps one plan operator with ANALYZE counters. It is
+// itself a Node, interposed between the operator and its parent by
+// Instrument, so every Open/Next/Close crossing is timed and counted.
+// While a call is in flight the context's curOp points at this
+// operator's stats, which is how the tracer chain (analyzeTracer)
+// attributes buffer-pool traffic per operator; the pointer is saved
+// and restored around child calls, so attribution follows the
+// innermost active operator exactly.
+type Instrumented struct {
+	c *Ctx
+	n Node
+	// Stats is the operator's accumulated counters.
+	Stats OpStats
+}
+
+// Instrument rewires the plan tree so every operator is wrapped in an
+// Instrumented node, returning the wrapped root. The tree is mutated
+// in place (child fields now point at wrappers), so instrument only
+// freshly compiled plans — never a cached prepared statement shared
+// with uninstrumented executions.
+func Instrument(c *Ctx, n Node) *Instrumented {
+	switch t := n.(type) {
+	case *Filter:
+		t.Child = Instrument(c, t.Child)
+	case *ProjectNode:
+		t.Child = Instrument(c, t.Child)
+	case *NestLoop:
+		t.Outer = Instrument(c, t.Outer)
+		t.Inner = Instrument(c, t.Inner)
+	case *IndexLoopJoin:
+		t.Outer = Instrument(c, t.Outer)
+	case *HashJoin:
+		t.Outer = Instrument(c, t.Outer)
+		t.Inner = Instrument(c, t.Inner)
+	case *MergeJoin:
+		t.Outer = Instrument(c, t.Outer)
+		t.Inner = Instrument(c, t.Inner)
+	case *Agg:
+		t.Child = Instrument(c, t.Child)
+	case *GroupAgg:
+		t.Child = Instrument(c, t.Child)
+	case *Sort:
+		t.Child = Instrument(c, t.Child)
+	case *Material:
+		t.Child = Instrument(c, t.Child)
+	case *Limit:
+		t.Child = Instrument(c, t.Child)
+	}
+	return &Instrumented{c: c, n: n}
+}
+
+// enter makes this operator current and returns the restore state.
+func (i *Instrumented) enter() (*OpStats, time.Time) {
+	prev := i.c.curOp
+	i.c.curOp = &i.Stats
+	return prev, time.Now()
+}
+
+// exit restores the previous operator and accumulates wall time.
+func (i *Instrumented) exit(prev *OpStats, start time.Time) {
+	i.Stats.Wall += time.Since(start)
+	i.c.curOp = prev
+}
+
+// Open implements Node.
+func (i *Instrumented) Open() error {
+	prev, start := i.enter()
+	err := i.n.Open()
+	i.exit(prev, start)
+	i.Stats.Loops++
+	return err
+}
+
+// Next implements Node.
+func (i *Instrumented) Next() (Tuple, bool, error) {
+	prev, start := i.enter()
+	tup, ok, err := i.n.Next()
+	i.exit(prev, start)
+	if ok {
+		i.Stats.Rows++
+	}
+	return tup, ok, err
+}
+
+// Close implements Node.
+func (i *Instrumented) Close() error {
+	prev, start := i.enter()
+	err := i.n.Close()
+	i.exit(prev, start)
+	return err
+}
+
+// Schema implements Node.
+func (i *Instrumented) Schema() *catalog.Schema { return i.n.Schema() }
+
+// Unwrap returns the wrapped operator.
+func (i *Instrumented) Unwrap() Node { return i.n }

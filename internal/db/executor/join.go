@@ -126,7 +126,11 @@ type IndexLoopJoin struct {
 	BTree    *access.BTree
 	HashIdx  *access.HashIndex
 	InnerSch *catalog.Schema
-	Quals    []Expr // residual quals over the concatenated row
+	// Table and KeyCol name the inner relation and its indexed join
+	// column for EXPLAIN output.
+	Table  string
+	KeyCol string
+	Quals  []Expr // residual quals over the concatenated row
 
 	out     *catalog.Schema
 	cur     Tuple

@@ -37,9 +37,11 @@ const defaultPartCap = 8
 // trace). Each worker gets its own Ctx; the parent Ctx's Interrupt is
 // shared and must be goroutine-safe (context.Context.Err is).
 type ParallelScan struct {
-	C      *Ctx
-	Heap   *access.Heap
-	Out    *catalog.Schema
+	C    *Ctx
+	Heap *access.Heap
+	Out  *catalog.Schema
+	// Table names the scanned relation for EXPLAIN output.
+	Table  string
 	Quals  []Expr
 	Degree int
 	// PartCap overrides the per-worker channel capacity in batches
@@ -86,6 +88,10 @@ func (s *ParallelScan) Open() error {
 	s.cur = 0
 	s.batch, s.pos = nil, 0
 	s.opened = true
+	// The worker tracer chain is built here, on the session goroutine:
+	// workerTracer reads session-owned state (span, analyze operator)
+	// that must not be touched from inside a worker.
+	wtr := workerTracer(s.C)
 	// Balanced contiguous ranges: the first pages%n workers take one
 	// extra page.
 	base, rem := pages/n, pages%n
@@ -98,7 +104,7 @@ func (s *ParallelScan) Open() error {
 		part := make(chan []Tuple, chanCap)
 		s.parts[i] = part
 		s.wg.Add(1)
-		go s.worker(i, lo, hi, part)
+		go s.worker(i, lo, hi, part, wtr)
 		lo = hi
 	}
 	return nil
@@ -108,13 +114,14 @@ func (s *ParallelScan) Open() error {
 // untraced context, and streams qualifying tuples into part in
 // batches. The error slot is written before the channel close, so
 // the consumer's receive of the close is its happens-before edge.
-func (s *ParallelScan) worker(i, lo, hi int, part chan<- []Tuple) {
+func (s *ParallelScan) worker(i, lo, hi int, part chan<- []Tuple, wtr probe.Tracer) {
 	defer s.wg.Done()
 	defer close(part)
 	// Workers emit into the context's concurrency-safe worker tracer
 	// (usually a counting tracer), never into the session tracer. The
-	// session's span rides along so worker IO waits are attributed.
-	wc := &Ctx{Tr: workerTracer(s.C), Interrupt: s.C.Interrupt}
+	// session's span rides along so worker IO waits are attributed,
+	// and under EXPLAIN ANALYZE so is buffer-pool traffic (atomics).
+	wc := &Ctx{Tr: wtr, Interrupt: s.C.Interrupt}
 	scan := s.Heap.BeginRangeScan(lo, hi)
 	defer scan.Close()
 	batch := make([]Tuple, 0, batchTuples)

@@ -11,9 +11,11 @@ import (
 // SeqScan reads a heap file sequentially, applying an optional
 // qualifier — PostgreSQL's ExecSeqScan over heap_getnext.
 type SeqScan struct {
-	C      *Ctx
-	Heap   *access.Heap
-	Out    *catalog.Schema
+	C    *Ctx
+	Heap *access.Heap
+	Out  *catalog.Schema
+	// Table names the scanned relation for EXPLAIN output.
+	Table  string
 	Quals  []Expr
 	scan   *access.HeapScan
 	opened bool
@@ -80,6 +82,10 @@ type IndexScan struct {
 	C    *Ctx
 	Heap *access.Heap
 	Out  *catalog.Schema
+	// Table and KeyCol name the scanned relation and the indexed
+	// column for EXPLAIN output.
+	Table  string
+	KeyCol string
 
 	// BTree or HashIdx is set depending on the index kind.
 	BTree   *access.BTree

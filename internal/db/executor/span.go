@@ -25,6 +25,93 @@ func (t spanTracer) Emit(id probe.ID) { t.inner.Emit(id) }
 // parallel scan workers: span stage counters are atomic.
 func (t spanTracer) AddIOWait(d time.Duration) { t.sp.Add(obs.StageIO, d) }
 
+// ioWaiter is the buffer pool's IO-wait attribution hook, re-declared
+// here so wrapping tracers can forward it down the chain.
+type ioWaiter interface {
+	AddIOWait(d time.Duration)
+}
+
+// analyzeTracer sits atop the span tracer during EXPLAIN ANALYZE: it
+// forwards every probe event unchanged, and additionally attributes
+// buffer-pool page hits/misses and IO waits to the operator currently
+// executing (Ctx.curOp, maintained by the Instrumented wrappers). It
+// reads curOp at emission time, so one tracer serves the whole tree;
+// only the single-threaded session goroutine runs under it — workers
+// get a fixed-operator opTracer instead.
+type analyzeTracer struct {
+	inner probe.Tracer
+	c     *Ctx
+}
+
+// Emit implements probe.Tracer.
+func (t analyzeTracer) Emit(id probe.ID) {
+	t.inner.Emit(id)
+	switch id {
+	case probe.BufGetHit:
+		if op := t.c.curOp; op != nil {
+			op.bufHits.Add(1)
+		}
+	case probe.BufGetMiss:
+		if op := t.c.curOp; op != nil {
+			op.bufMisses.Add(1)
+		}
+	}
+}
+
+// AddIOWait attributes IO wait to the current operator and forwards
+// it down the chain (so the span's IO stage still sees it).
+func (t analyzeTracer) AddIOWait(d time.Duration) {
+	if op := t.c.curOp; op != nil {
+		op.ioWait.Add(int64(d))
+	}
+	if w, ok := t.inner.(ioWaiter); ok {
+		w.AddIOWait(d)
+	}
+}
+
+// opTracer is analyzeTracer's parallel-worker twin: the operator is
+// fixed at construction (the ParallelScan's own stats block, captured
+// on the session goroutine at Open), so workers never touch Ctx.curOp.
+// The counters are atomic — any number of workers share one block.
+type opTracer struct {
+	inner probe.Tracer
+	op    *OpStats
+}
+
+// Emit implements probe.Tracer.
+func (t opTracer) Emit(id probe.ID) {
+	t.inner.Emit(id)
+	switch id {
+	case probe.BufGetHit:
+		t.op.bufHits.Add(1)
+	case probe.BufGetMiss:
+		t.op.bufMisses.Add(1)
+	}
+}
+
+// AddIOWait attributes IO wait to the fixed operator and forwards it.
+func (t opTracer) AddIOWait(d time.Duration) {
+	t.op.ioWait.Add(int64(d))
+	if w, ok := t.inner.(ioWaiter); ok {
+		w.AddIOWait(d)
+	}
+}
+
+// retrace rebuilds the context's tracer chain from the base session
+// tracer: span attribution first (closest to the kernel), then the
+// analyze layer on top. Called whenever the span or analyze mode
+// changes; statements are single-threaded, so the swap is safe.
+func (c *Ctx) retrace() {
+	tr := c.base
+	if c.Span != nil {
+		tr = spanTracer{inner: tr, sp: c.Span}
+	}
+	if c.analyzing {
+		tr = analyzeTracer{inner: tr, c: c}
+	}
+	c.Tr = tr
+}
+
 // SetSpan attaches (or, with nil, detaches) the observability span
 // for the next execution, wrapping the context's tracer so the buffer
 // pool can attribute IO waits (see spanTracer). Statements are
@@ -34,20 +121,35 @@ func (c *Ctx) SetSpan(sp *obs.Span) {
 		c.base = c.Tr
 	}
 	c.Span = sp
-	if sp == nil {
-		c.Tr = c.base
-	} else {
-		c.Tr = spanTracer{inner: c.base, sp: sp}
+	c.retrace()
+}
+
+// SetAnalyze switches EXPLAIN ANALYZE attribution on or off for the
+// next execution: when on, the tracer chain counts buffer-pool
+// traffic into the instrumented operators (see analyzeTracer and
+// instrument.go). Ordinary queries never call this, so they keep the
+// exact pre-existing tracer chain.
+func (c *Ctx) SetAnalyze(on bool) {
+	if c.base == nil {
+		c.base = c.Tr
 	}
+	c.analyzing = on
+	c.retrace()
 }
 
 // workerTracer builds a parallel-scan worker's tracer: the
 // concurrency-safe worker tracer, wrapped to carry the session's span
-// (if any) so worker-side IO waits are attributed too.
+// (if any) so worker-side IO waits are attributed, and — under
+// EXPLAIN ANALYZE — to count buffer traffic into the operator stats
+// block passed by the scan's Open. Must be called on the session
+// goroutine (it reads Span and curOp), never from inside a worker.
 func workerTracer(c *Ctx) probe.Tracer {
 	tr := probe.Or(c.WorkerTracer)
-	if c.Span == nil {
-		return tr
+	if c.Span != nil {
+		tr = spanTracer{inner: tr, sp: c.Span}
 	}
-	return spanTracer{inner: tr, sp: c.Span}
+	if c.analyzing && c.curOp != nil {
+		tr = opTracer{inner: tr, op: c.curOp}
+	}
+	return tr
 }

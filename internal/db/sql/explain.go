@@ -1,0 +1,49 @@
+package sql
+
+import "strings"
+
+// ExplainMode classifies a query's EXPLAIN prefix.
+type ExplainMode int
+
+const (
+	// ExplainNone is an ordinary statement (no EXPLAIN prefix).
+	ExplainNone ExplainMode = iota
+	// ExplainPlan renders the plan without executing it.
+	ExplainPlan
+	// ExplainAnalyze executes the plan under per-operator
+	// instrumentation and renders it with actual row counts, loop
+	// counts, wall times and buffer-pool traffic.
+	ExplainAnalyze
+)
+
+// SplitExplain strips a leading EXPLAIN [ANALYZE] from a statement,
+// returning the mode and the remaining statement text. The scan is
+// case-insensitive and purely lexical (keyword boundaries, not
+// substrings), so the SELECT text that remains is byte-identical to
+// what the user wrote — the parser, the canonicalizer and the result
+// cache all see the query exactly as if EXPLAIN had not been there.
+// Statements without the prefix come back unchanged as ExplainNone.
+func SplitExplain(src string) (ExplainMode, string) {
+	rest, ok := cutKeyword(src, "explain")
+	if !ok {
+		return ExplainNone, src
+	}
+	if r2, ok := cutKeyword(rest, "analyze"); ok {
+		return ExplainAnalyze, r2
+	}
+	return ExplainPlan, rest
+}
+
+// cutKeyword strips one leading SQL keyword (case-insensitive,
+// terminated by a non-identifier byte) plus the whitespace after it.
+func cutKeyword(src, kw string) (string, bool) {
+	s := strings.TrimLeft(src, " \t\r\n")
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return src, false
+	}
+	tail := s[len(kw):]
+	if tail != "" && (isAlpha(tail[0]) || isDigit(tail[0])) {
+		return src, false // identifier that merely starts with the keyword
+	}
+	return strings.TrimLeft(tail, " \t\r\n"), true
+}

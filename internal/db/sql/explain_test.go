@@ -1,0 +1,36 @@
+package sql
+
+import "testing"
+
+func TestSplitExplain(t *testing.T) {
+	cases := []struct {
+		src  string
+		mode ExplainMode
+		rest string
+	}{
+		{"select 1", ExplainNone, "select 1"},
+		{"explain select 1", ExplainPlan, "select 1"},
+		{"EXPLAIN SELECT 1", ExplainPlan, "SELECT 1"},
+		{"  \t\nexplain   select 1", ExplainPlan, "select 1"},
+		{"explain analyze select 1", ExplainAnalyze, "select 1"},
+		{"Explain Analyze Select 1", ExplainAnalyze, "Select 1"},
+		{"EXPLAIN\nANALYZE\nselect 1", ExplainAnalyze, "select 1"},
+		// Identifiers that merely start with the keyword are not cut.
+		{"explainer select 1", ExplainNone, "explainer select 1"},
+		{"explain analyzer", ExplainPlan, "analyzer"},
+		{"explain2 select 1", ExplainNone, "explain2 select 1"},
+		// The remaining text must be byte-identical — the result cache
+		// canonicalizes it exactly as if EXPLAIN had not been written.
+		{"explain select  a ,b from t", ExplainPlan, "select  a ,b from t"},
+		{"explain", ExplainPlan, ""},
+		{"explain analyze", ExplainAnalyze, ""},
+		{"", ExplainNone, ""},
+	}
+	for _, c := range cases {
+		mode, rest := SplitExplain(c.src)
+		if mode != c.mode || rest != c.rest {
+			t.Errorf("SplitExplain(%q) = (%v, %q), want (%v, %q)",
+				c.src, mode, rest, c.mode, c.rest)
+		}
+	}
+}

@@ -347,10 +347,12 @@ func (pl *Planner) scan(table string, preds []node) (executor.Node, error) {
 		}
 		if ix.Kind == catalog.Hash && op == "=" {
 			return &executor.IndexScan{C: pl.C, Heap: heap, Out: sch,
+				Table: table, KeyCol: col,
 				HashIdx: pl.DB.HashFor(ix), EqKey: lit, Quals: quals}, nil
 		}
 		if ix.Kind == catalog.BTree {
 			is := &executor.IndexScan{C: pl.C, Heap: heap, Out: sch,
+				Table: table, KeyCol: col,
 				BTree: pl.DB.BTreeFor(ix), Quals: quals}
 			switch op {
 			case "=":
@@ -379,9 +381,9 @@ func (pl *Planner) scan(table string, preds []node) (executor.Node, error) {
 	// is big enough to split (a one-page table gains nothing).
 	if pl.C.Parallelism > 1 && heap.NumPages() >= 2 {
 		return &executor.ParallelScan{C: pl.C, Heap: heap, Out: sch,
-			Quals: quals, Degree: pl.C.Parallelism}, nil
+			Table: table, Quals: quals, Degree: pl.C.Parallelism}, nil
 	}
-	return &executor.SeqScan{C: pl.C, Heap: heap, Out: sch, Quals: quals}, nil
+	return &executor.SeqScan{C: pl.C, Heap: heap, Out: sch, Table: table, Quals: quals}, nil
 }
 
 // join attaches table t to the current plan on outerCol = innerCol.
@@ -401,7 +403,8 @@ func (pl *Planner) join(outer executor.Node, t, outerCol, innerCol string,
 			return nil, err
 		}
 		ilj := &executor.IndexLoopJoin{C: pl.C, Outer: outer, OuterKey: outIdx,
-			Heap: pl.DB.Heap(t), InnerSch: innerSch, Quals: quals}
+			Heap: pl.DB.Heap(t), InnerSch: innerSch, Quals: quals,
+			Table: t, KeyCol: innerCol}
 		if ix.Kind == catalog.BTree {
 			ilj.BTree = pl.DB.BTreeFor(ix)
 		} else {
@@ -435,7 +438,7 @@ func (pl *Planner) join(outer executor.Node, t, outerCol, innerCol string,
 // and merge join builds, top-level scans) keep the parallel node.
 func serialized(c *executor.Ctx, n executor.Node) executor.Node {
 	if ps, ok := n.(*executor.ParallelScan); ok {
-		return &executor.SeqScan{C: c, Heap: ps.Heap, Out: ps.Out, Quals: ps.Quals}
+		return &executor.SeqScan{C: c, Heap: ps.Heap, Out: ps.Out, Table: ps.Table, Quals: ps.Quals}
 	}
 	return n
 }

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Record type tags (the first payload byte).
@@ -494,6 +495,28 @@ type Writer struct {
 	// the segment may carry a partial frame that later appends would
 	// bury mid-segment, so the writer refuses all further work.
 	broken error
+
+	// appends/fsyncs count successful record appends and segment
+	// fsyncs across the writer's lifetime — the durability counters
+	// surfaced by SHOW wal and the Prometheus /metrics endpoint.
+	// Atomic so Counters never takes mu (stats endpoints must not
+	// queue behind an in-flight fsync).
+	appends atomic.Uint64
+	fsyncs  atomic.Uint64
+}
+
+// Counters is a point-in-time copy of the writer's lifetime counters.
+type Counters struct {
+	// Appends is the number of records successfully appended.
+	Appends uint64
+	// Fsyncs is the number of segment fsyncs (Sync calls, per-append
+	// syncs under SyncEvery, and rotation/close syncs).
+	Fsyncs uint64
+}
+
+// Counters returns the writer's lifetime append/fsync counters.
+func (w *Writer) Counters() Counters {
+	return Counters{Appends: w.appends.Load(), Fsyncs: w.fsyncs.Load()}
 }
 
 // OpenWriter positions a writer at tail: segment tail.Seq is opened
@@ -566,8 +589,12 @@ func (w *Writer) Append(rec Record) error {
 		return err
 	}
 	w.off += int64(len(frame))
+	w.appends.Add(1)
 	if w.opts.SyncEvery {
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.fsyncs.Add(1)
 	}
 	return nil
 }
@@ -579,7 +606,11 @@ func (w *Writer) Sync() error {
 	if w.closed {
 		return nil
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	return nil
 }
 
 // rotateLocked syncs and closes the current segment and starts seq.
@@ -587,6 +618,7 @@ func (w *Writer) rotateLocked(seq uint64) error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.fsyncs.Add(1)
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -650,6 +682,7 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return err
 	}
+	w.fsyncs.Add(1)
 	return w.f.Close()
 }
 
