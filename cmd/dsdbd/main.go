@@ -28,6 +28,17 @@
 //
 //	dsdbd -addr :5454 -metrics-addr 127.0.0.1:9090 -slow-query-log 100ms
 //
+// With -capture-dir every served query is recorded to an append-only
+// workload-capture log (dsdb/wcap): SQL, session, outcome, latency
+// and per-stage breakdown, written off the hot path so capture never
+// slows a query. -capture-sample keeps only a deterministic fraction
+// of queries for high-QPS servers. A capture replays anywhere with
+// cmd/dsreplay, and "show capture" exposes the live counters —
+// dropped must stay 0 for the capture to be complete:
+//
+//	dsdbd -addr :5454 -capture-dir /var/lib/dsdb-capture
+//	dsdbd -addr :5454 -capture-dir cap -capture-sample 0.01
+//
 // With -data-dir the database is durable: the first start builds the
 // TPC-D dataset, checkpoints it into the directory and write-ahead
 // logs every mutation after that; any later start (including after a
@@ -52,6 +63,7 @@ import (
 
 	"repro/dsdb"
 	"repro/dsdb/server"
+	"repro/dsdb/wcap"
 )
 
 func main() {
@@ -72,10 +84,15 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory; existing dirs warm-start, skipping the TPC-D load)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (empty = disabled)")
 	slowQuery := flag.Duration("slow-query-log", 0, "log queries slower than this to stderr with their per-stage breakdown (0 = disabled)")
+	captureDir := flag.String("capture-dir", "", "record every served query to a workload-capture log in this directory (empty = disabled; replay with dsreplay)")
+	captureSample := flag.Float64("capture-sample", 0, "capture only this fraction of queries, deterministically (0 or 1 = all; needs -capture-dir)")
 	flag.Parse()
 
 	if (*cacheTTL > 0 || *cacheMinCost > 0) && *cacheBytes <= 0 {
 		log.Fatal("dsdbd: -result-cache-ttl/-result-cache-min-cost need -result-cache-bytes > 0")
+	}
+	if *captureSample != 0 && *captureDir == "" {
+		log.Fatal("dsdbd: -capture-sample needs -capture-dir")
 	}
 
 	kind := dsdb.BTree
@@ -103,12 +120,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsdbd: built durable database in %s\n", *dataDir)
 	}
 
-	srv := server.New(db,
+	srvOpts := []server.Option{
 		server.WithMaxConns(*maxConns),
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithWriteTimeout(*writeTimeout),
 		server.WithIdleTimeout(*idleTimeout),
-		server.WithSlowQueryThreshold(*slowQuery))
+		server.WithSlowQueryThreshold(*slowQuery),
+	}
+	var capture *wcap.Writer
+	if *captureDir != "" {
+		capture, err = wcap.Open(*captureDir, wcap.Options{Sample: *captureSample})
+		if err != nil {
+			log.Fatalf("dsdbd: -capture-dir: %v", err)
+		}
+		srvOpts = append(srvOpts, server.WithCapture(capture))
+		fmt.Fprintf(os.Stderr, "dsdbd: capturing served queries to %s\n", *captureDir)
+	}
+	srv := server.New(db, srvOpts...)
 	if *slowQuery > 0 {
 		db.Obs().SetSlowLogger(log.New(os.Stderr, "dsdbd: slow query: ", 0))
 	}
@@ -138,6 +166,17 @@ func main() {
 			st.TotalConns, st.RefusedConns, st.SlowClientKills, st.IdleKills,
 			st.Queries, st.QueryErrors, st.CancelledQueries, st.CacheHits, st.InFlightQueries,
 			st.RowsStreamed, st.BytesWritten, st.Uptime.Round(time.Second))
+		// Capture closes after the drain: every query that completed is
+		// in the log, and the final counters say whether it is complete
+		// (dropped == 0) before anyone replays it.
+		if capture != nil {
+			if err := capture.Close(); err != nil {
+				log.Printf("dsdbd: capture close: %v", err)
+			}
+			cst := capture.Stats()
+			fmt.Fprintf(os.Stderr, "dsdbd: captured %d queries (%d dropped, %d sampled out), %d bytes in %s\n",
+				cst.Records, cst.Dropped, cst.SampledOut, cst.Bytes, *captureDir)
+		}
 		if st, ok := db.ResultCacheStats(); ok {
 			fmt.Fprintf(os.Stderr, "dsdbd: result cache: %d hits / %d misses (%.1f%%), %d entries, %d/%d bytes, %d evictions, %d invalidations, %d expirations, %d admission rejects\n",
 				st.Hits, st.Misses, 100*st.HitRatio(), st.Entries, st.UsedBytes, st.MaxBytes, st.Evictions, st.Invalidations, st.Expirations, st.AdmissionRejects)

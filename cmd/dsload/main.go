@@ -30,6 +30,10 @@
 // -explain-worst re-runs the query with the worst max latency of the
 // measured phase under EXPLAIN ANALYZE and prints the annotated plan,
 // so a slow run ends with the operator-level evidence in hand.
+// Against a server recording its workload (dsdbd -capture-dir),
+// -capture-out writes the server's capture counters as JSON after the
+// run — CI asserts dropped == 0 there to prove the run was captured
+// in full before replaying it.
 package main
 
 import (
@@ -68,6 +72,7 @@ func main() {
 	burstPeriod := flag.Duration("burst-period", 0, "burst: burst cycle period (0 = default 1s)")
 	serverStats := flag.Bool("server-stats", false, "after the run, fetch and print the server's counter snapshot")
 	reportJSON := flag.String("report-json", "", "write the machine-readable run summary (JSON) to this path")
+	captureOut := flag.String("capture-out", "", "write the server's workload-capture counters (JSON) to this path; fails if the server runs without -capture-dir")
 	explainWorst := flag.Bool("explain-worst", false, "after the run, EXPLAIN ANALYZE the query with the worst max latency and print the plan")
 	flag.Parse()
 
@@ -106,7 +111,7 @@ func main() {
 	// One stats snapshot serves both consumers: the human -server-stats
 	// dump and the JSON report's server sections.
 	var st *wire.Stats
-	if *serverStats || *reportJSON != "" {
+	if *serverStats || *reportJSON != "" || *captureOut != "" {
 		db, err := client.Dial(*addr)
 		if err != nil {
 			log.Fatalf("dsload: server stats: %v", err)
@@ -133,6 +138,21 @@ func main() {
 			log.Fatalf("dsload: -report-json: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dsload: wrote JSON report to %s\n", *reportJSON)
+	}
+	if *captureOut != "" {
+		cap := load.CaptureSection(st)
+		if cap == nil {
+			log.Fatalf("dsload: -capture-out: server at %s runs without workload capture (start dsdbd with -capture-dir)", *addr)
+		}
+		fmt.Fprintf(os.Stderr, "dsload: server captured %d queries (%d dropped, %d sampled out), %d bytes\n",
+			cap.Records, cap.Dropped, cap.SampledOut, cap.Bytes)
+		blob, err := json.MarshalIndent(cap, "", "  ")
+		if err != nil {
+			log.Fatalf("dsload: -capture-out: %v", err)
+		}
+		if err := os.WriteFile(*captureOut, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("dsload: -capture-out: %v", err)
+		}
 	}
 	if *explainWorst {
 		if err := explainWorstQuery(ctx, *addr, sum); err != nil {

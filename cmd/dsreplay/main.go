@@ -1,0 +1,141 @@
+// Command dsreplay re-runs a workload capture recorded by dsdbd
+// -capture-dir (dsdb/wcap): the exact queries a server once served,
+// in their recorded per-session order, against a live server or an
+// in-process database. It is the other half of workload capture —
+// record production traffic once, then replay it against a candidate
+// build, a different index kind, or a re-tuned cache, and compare the
+// replayed latency percentiles against the recorded ones.
+//
+// Usage:
+//
+//	dsreplay -dir cap -addr 127.0.0.1:5454            # closed-loop, live server
+//	dsreplay -dir cap -addr :5454 -paced              # at recorded arrival times
+//	dsreplay -dir cap -addr :5454 -paced -timescale 4 # 4× faster than recorded
+//	dsreplay -dir cap -local -sf 0.002 -seed 42       # in-process, no server
+//	dsreplay -dir cap -addr :5454 -report-json replay.json
+//
+// Two modes:
+//
+//   - Live (-addr): one wire connection per recorded session (bounded
+//     by -clients), each replaying its session's queries in recorded
+//     order — closed-loop by default, or paced at the recorded start
+//     offsets with -paced (scaled by -timescale).
+//   - Local (-local): the same replay against an in-process database
+//     built with -sf/-seed/-hash — for replaying a capture where no
+//     server is running. SHOW queries (server introspection) are
+//     skipped and counted.
+//
+// The report always pairs the replayed latency percentiles with the
+// percentiles recorded in the capture itself, so a regression is
+// visible without keeping the original run around. -report-json
+// writes the same machine-readable shape as dsload -report-json plus
+// the recorded-vs-replayed comparison.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+	"repro/dsdb/load"
+	"repro/dsdb/wcap"
+	"repro/dsdb/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir := flag.String("dir", "", "capture directory to replay (required)")
+	addr := flag.String("addr", "", "replay against this live dsdb server")
+	local := flag.Bool("local", false, "replay against an in-process database instead of a server")
+	sf := flag.Float64("sf", 0.002, "local mode: TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "local mode: generator seed")
+	hash := flag.Bool("hash", false, "local mode: hash-indexed database instead of Btree")
+	clients := flag.Int("clients", 0, "replay workers (0 = one per recorded session)")
+	paced := flag.Bool("paced", false, "fire queries at their recorded start offsets instead of closed-loop")
+	timescale := flag.Float64("timescale", 1, "paced mode: speed factor over the recorded schedule (2 = twice as fast)")
+	wait := flag.Duration("wait-ready", 15*time.Second, "how long to retry the first connection while the server loads")
+	timeout := flag.Duration("timeout", 0, "overall replay deadline (0 = none)")
+	reportJSON := flag.String("report-json", "", "write the machine-readable replay summary (JSON) to this path")
+	flag.Parse()
+
+	if *dir == "" {
+		log.Fatal("dsreplay: -dir is required")
+	}
+	if *local == (*addr != "") {
+		log.Fatal("dsreplay: exactly one of -addr and -local is required")
+	}
+	recs, err := wcap.Load(*dir)
+	if err != nil {
+		log.Fatalf("dsreplay: reading capture: %v", err)
+	}
+	if len(recs) == 0 {
+		log.Fatalf("dsreplay: capture %s is empty", *dir)
+	}
+	fmt.Fprintf(os.Stderr, "dsreplay: loaded %d captured queries from %s\n", len(recs), *dir)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	p := load.ReplayParams{
+		Records:   recs,
+		Clients:   *clients,
+		Paced:     *paced,
+		Timescale: *timescale,
+		WaitReady: *wait,
+	}
+	if *local {
+		kind := dsdb.BTree
+		if *hash {
+			kind = dsdb.Hash
+		}
+		fmt.Fprintf(os.Stderr, "dsreplay: loading TPC-D (SF=%g, %s indices, seed %d)...\n", *sf, kind, *seed)
+		db, err := dsdb.Open(dsdb.WithTPCD(*sf), dsdb.WithIndexKind(kind), dsdb.WithSeed(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		p.DB = db
+	} else {
+		p.Addr = *addr
+	}
+
+	sum, err := load.Replay(ctx, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sum.Report())
+
+	var st *wire.Stats
+	if *reportJSON != "" {
+		if !*local {
+			db, err := client.Dial(*addr)
+			if err != nil {
+				log.Fatalf("dsreplay: server stats: %v", err)
+			}
+			snap, err := db.ServerStats()
+			db.Close()
+			if err != nil {
+				log.Fatalf("dsreplay: server stats: %v", err)
+			}
+			st = &snap
+		}
+		blob, err := json.MarshalIndent(load.BuildReplayJSONReport(sum, st), "", "  ")
+		if err != nil {
+			log.Fatalf("dsreplay: -report-json: %v", err)
+		}
+		if err := os.WriteFile(*reportJSON, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("dsreplay: -report-json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dsreplay: wrote JSON report to %s\n", *reportJSON)
+	}
+}

@@ -67,8 +67,133 @@ type JSONReport struct {
 
 	PerQuery []JSONQueryStat `json:"per_query"`
 
-	ServerStats  map[string]int64 `json:"server_stats,omitempty"`
-	ServerStages []StageMean      `json:"server_stages,omitempty"`
+	ServerStats  map[string]int64  `json:"server_stats,omitempty"`
+	ServerStages []StageMean       `json:"server_stages,omitempty"`
+	Capture      *JSONCaptureStats `json:"capture,omitempty"`
+}
+
+// JSONCaptureStats is the server's workload-capture counter block,
+// present in a report only when the target server was started with a
+// capture (dsdbd -capture-dir). CI asserts dropped == 0 here: the run
+// was recorded in full.
+type JSONCaptureStats struct {
+	Records    int64 `json:"records"`
+	Dropped    int64 `json:"dropped"`
+	SampledOut int64 `json:"sampled_out"`
+	Bytes      int64 `json:"bytes"`
+	IOErrors   int64 `json:"io_errors"`
+}
+
+// CaptureSection extracts the capture counter block from a server
+// stats snapshot, or nil when the server runs without capture (the
+// capture_* pairs ride the snapshot only when enabled).
+func CaptureSection(st *wire.Stats) *JSONCaptureStats {
+	if st == nil {
+		return nil
+	}
+	records, ok := st.Get("capture_records")
+	if !ok {
+		return nil
+	}
+	c := &JSONCaptureStats{Records: records}
+	c.Dropped, _ = st.Get("capture_dropped")
+	c.SampledOut, _ = st.Get("capture_sampled_out")
+	c.Bytes, _ = st.Get("capture_bytes")
+	c.IOErrors, _ = st.Get("capture_io_errors")
+	return c
+}
+
+// JSONReplayQueryStat is one label's slice of a JSONReplayReport:
+// the replayed numbers next to the capture-time recording.
+type JSONReplayQueryStat struct {
+	Label       string      `json:"label"`
+	Count       int         `json:"count"`
+	Rows        int64       `json:"rows"`
+	Latency     JSONLatency `json:"latency"`
+	RecordedLat JSONLatency `json:"recorded_latency"`
+}
+
+// JSONReplayReport is the machine-readable replay summary written by
+// dsreplay -report-json: the same core shape as dsload's JSONReport
+// (queries/rows/elapsed/throughput/latency/server stats) plus the
+// recorded-vs-replayed latency comparison that makes a replay a
+// regression check.
+type JSONReplayReport struct {
+	Queries    int     `json:"queries"`
+	Skipped    int     `json:"skipped"`
+	Sessions   int     `json:"sessions"`
+	Clients    int     `json:"clients"`
+	Paced      bool    `json:"paced"`
+	Timescale  float64 `json:"timescale,omitempty"`
+	Rows       int64   `json:"rows"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"throughput_qps"`
+
+	Latency         JSONLatency `json:"latency"`
+	RecordedLatency JSONLatency `json:"recorded_latency"`
+	CacheHits       int         `json:"cache_hits"`
+
+	PerQuery []JSONReplayQueryStat `json:"per_query"`
+
+	ServerStats  map[string]int64  `json:"server_stats,omitempty"`
+	ServerStages []StageMean       `json:"server_stages,omitempty"`
+	Capture      *JSONCaptureStats `json:"capture,omitempty"`
+}
+
+// BuildReplayJSONReport renders a ReplaySummary (and, optionally, the
+// target server's stats snapshot) as the report dsreplay -report-json
+// writes.
+func BuildReplayJSONReport(s *ReplaySummary, st *wire.Stats) JSONReplayReport {
+	r := JSONReplayReport{
+		Queries:         s.Queries,
+		Skipped:         s.Skipped,
+		Sessions:        s.Sessions,
+		Clients:         s.Clients,
+		Paced:           s.Paced,
+		Timescale:       s.Timescale,
+		Rows:            s.Rows,
+		ElapsedNs:       s.Elapsed.Nanoseconds(),
+		Throughput:      s.Throughput(),
+		Latency:         jsonLat(s.Lat),
+		RecordedLatency: jsonLat(s.RecordedLat),
+		CacheHits:       s.CacheHits,
+		PerQuery:        make([]JSONReplayQueryStat, 0, len(s.PerQuery)),
+	}
+	for _, q := range s.PerQuery {
+		r.PerQuery = append(r.PerQuery, JSONReplayQueryStat{
+			Label:       q.Label,
+			Count:       q.Count,
+			Rows:        q.Rows,
+			Latency:     jsonLat(q.Lat),
+			RecordedLat: jsonLat(q.RecordedLat),
+		})
+	}
+	if st != nil {
+		r.ServerStats, r.ServerStages = serverSections(st)
+		r.Capture = CaptureSection(st)
+	}
+	return r
+}
+
+// serverSections renders a wire stats snapshot as the report's raw
+// counter map and per-stage means; shared by both report builders.
+func serverSections(st *wire.Stats) (map[string]int64, []StageMean) {
+	stats := make(map[string]int64, len(st.Pairs))
+	for _, p := range st.Pairs {
+		stats[p.Name] = p.Value
+	}
+	var stages []StageMean
+	for i := obs.Stage(0); i < obs.NumStages; i++ {
+		name := i.String()
+		count, _ := st.Get("stage_" + name + "_count")
+		total, _ := st.Get("stage_" + name + "_total_ns")
+		sm := StageMean{Stage: name, Count: count, TotalNs: total}
+		if count > 0 {
+			sm.MeanNs = total / count
+		}
+		stages = append(stages, sm)
+	}
+	return stats, stages
 }
 
 // BuildJSONReport renders a Summary (and, optionally, the server's
@@ -107,20 +232,8 @@ func BuildJSONReport(s *Summary, st *wire.Stats) JSONReport {
 		})
 	}
 	if st != nil {
-		r.ServerStats = make(map[string]int64, len(st.Pairs))
-		for _, p := range st.Pairs {
-			r.ServerStats[p.Name] = p.Value
-		}
-		for i := obs.Stage(0); i < obs.NumStages; i++ {
-			name := i.String()
-			count, _ := st.Get("stage_" + name + "_count")
-			total, _ := st.Get("stage_" + name + "_total_ns")
-			sm := StageMean{Stage: name, Count: count, TotalNs: total}
-			if count > 0 {
-				sm.MeanNs = total / count
-			}
-			r.ServerStages = append(r.ServerStages, sm)
-		}
+		r.ServerStats, r.ServerStages = serverSections(st)
+		r.Capture = CaptureSection(st)
 	}
 	return r
 }

@@ -73,6 +73,45 @@ func TestBuildJSONReport(t *testing.T) {
 	}
 }
 
+func TestCaptureSection(t *testing.T) {
+	if got := CaptureSection(nil); got != nil {
+		t.Fatalf("nil stats: got %+v", got)
+	}
+	// No capture_* pairs (server without -capture-dir): no block.
+	st := &wire.Stats{Pairs: []wire.StatPair{{Name: "queries_total", Value: 9}}}
+	if got := CaptureSection(st); got != nil {
+		t.Fatalf("capture-less stats: got %+v", got)
+	}
+	st.Pairs = append(st.Pairs,
+		wire.StatPair{Name: "capture_records", Value: 42},
+		wire.StatPair{Name: "capture_dropped", Value: 1},
+		wire.StatPair{Name: "capture_sampled_out", Value: 5},
+		wire.StatPair{Name: "capture_bytes", Value: 4096},
+		wire.StatPair{Name: "capture_io_errors", Value: 0},
+	)
+	got := CaptureSection(st)
+	want := &JSONCaptureStats{Records: 42, Dropped: 1, SampledOut: 5, Bytes: 4096}
+	if got == nil || *got != *want {
+		t.Fatalf("capture section = %+v, want %+v", got, want)
+	}
+	// And it rides the full report under the "capture" key.
+	r := BuildJSONReport(&Summary{Mix: "train", Queries: 1, Elapsed: time.Second}, st)
+	if r.Capture == nil || r.Capture.Records != 42 {
+		t.Fatalf("report capture block = %+v", r.Capture)
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["capture"]; !ok {
+		t.Fatalf("report JSON is missing the capture block: %v", decoded)
+	}
+}
+
 func TestBuildJSONReportWithoutServerStats(t *testing.T) {
 	r := BuildJSONReport(&Summary{Mix: "train", Queries: 1, Elapsed: time.Second}, nil)
 	if r.ServerStats != nil || r.ServerStages != nil {

@@ -1,0 +1,371 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/dsdb"
+	"repro/dsdb/client"
+	"repro/dsdb/wcap"
+)
+
+// ReplayParams configures one replay of a captured workload (a
+// dsdb/wcap record list) against a live server or an in-process DB.
+type ReplayParams struct {
+	// Records is the capture to replay (wcap.Load order; Replay
+	// re-sorts by recorded start offset).
+	Records []wcap.Record
+
+	// Addr replays against a live dsdb server over the wire. Exactly
+	// one of Addr and DB must be set (unless Runner overrides both).
+	Addr string
+	// DB replays in-process against an open database. SHOW queries in
+	// the capture are server introspection and are skipped (counted in
+	// Summary.Skipped) in this mode.
+	DB *dsdb.DB
+
+	// Clients bounds the replay's concurrency. 0 means one replay
+	// worker per distinct recorded session — the recorded concurrency.
+	// Each recorded session's queries always replay in recorded order
+	// on one worker, whatever the bound.
+	Clients int
+
+	// Paced, when true, fires each query at its recorded start offset
+	// (scaled by Timescale) instead of closed-loop as fast as possible.
+	// Latencies are then measured from the scheduled arrival, queueing
+	// delay included, exactly like the open-loop load generator.
+	Paced bool
+	// Timescale divides the recorded offsets in paced mode: 1 (the
+	// default) replays at recorded speed, 2 twice as fast, 0.5 at half
+	// speed. Ignored when Paced is false.
+	Timescale float64
+
+	// WaitReady, when positive, retries the first connection for up to
+	// this long (live mode only).
+	WaitReady time.Duration
+
+	// Runner, when non-nil, replaces the query transport entirely:
+	// every replayed query calls it instead of a wire client or the
+	// in-process DB. Tests use it to collect result rows for
+	// byte-comparison. Must be safe for concurrent use when the replay
+	// runs more than one worker.
+	Runner func(ctx context.Context, label, sql string) (rows int64, cacheHit bool, err error)
+}
+
+// ReplayStat is the per-label slice of a ReplaySummary, carrying both
+// sides of the comparison: the latencies this replay measured and the
+// latencies the capture recorded for the same queries.
+type ReplayStat struct {
+	Label       string
+	Count       int
+	Rows        int64
+	Lat         Latency
+	RecordedLat Latency
+}
+
+// ReplaySummary is the result of one replay run.
+type ReplaySummary struct {
+	Queries   int   // queries replayed to completion
+	Rows      int64 // rows streamed by replayed queries
+	Skipped   int   // records not replayed (recorded errors; SHOW in-process)
+	Sessions  int   // distinct recorded sessions among replayed records
+	Clients   int   // replay workers used
+	Paced     bool
+	Timescale float64
+	Elapsed   time.Duration
+
+	// Lat is the replayed latency distribution; RecordedLat is the
+	// recorded distribution of the same records — the capture-time
+	// baseline every replay is compared against.
+	Lat         Latency
+	RecordedLat Latency
+	CacheHits   int
+
+	// PerQuery aggregates by recorded label, ascending.
+	PerQuery []ReplayStat
+}
+
+// Throughput returns replayed queries per second.
+func (s *ReplaySummary) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Elapsed.Seconds()
+}
+
+// replayJob is one record scheduled onto a worker.
+type replayJob struct {
+	rec wcap.Record
+}
+
+// replaySample is one replayed query execution.
+type replaySample struct {
+	label    string
+	rows     int64
+	d        time.Duration
+	recorded time.Duration
+	hit      bool
+}
+
+// isShowSQL reports whether sql is a server-side SHOW statement —
+// introspection that only a live server can answer.
+func isShowSQL(sql string) bool {
+	f := strings.Fields(strings.ToLower(sql))
+	return len(f) > 0 && f[0] == "show"
+}
+
+// Replay re-runs a captured workload. Records replay grouped by their
+// recorded session — one worker per session (or fewer, with sessions
+// folded together in recorded-offset order) — either closed-loop or
+// paced at the recorded arrival offsets. Records whose recorded
+// outcome was an error are skipped: the capture says they never
+// produced a result stream, so there is nothing to reproduce.
+func Replay(ctx context.Context, p ReplayParams) (*ReplaySummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.Timescale <= 0 {
+		p.Timescale = 1
+	}
+	if p.Runner == nil && (p.Addr == "") == (p.DB == nil) {
+		return nil, fmt.Errorf("load: replay needs exactly one of Addr and DB")
+	}
+	inProcess := p.Runner != nil || p.DB != nil
+
+	// Partition the capture: replayable records, grouped per recorded
+	// session, each group in recorded start order.
+	bySession := make(map[uint32][]wcap.Record)
+	var skipped int
+	for _, r := range p.Records {
+		if r.Err != wcap.OK || (inProcess && isShowSQL(r.SQL)) {
+			skipped++
+			continue
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+	if len(bySession) == 0 {
+		return nil, fmt.Errorf("load: no replayable records in capture (%d records, %d skipped)", len(p.Records), skipped)
+	}
+	sessions := make([]uint32, 0, len(bySession))
+	for id := range bySession {
+		sort.SliceStable(bySession[id], func(a, b int) bool {
+			return bySession[id][a].Offset < bySession[id][b].Offset
+		})
+		sessions = append(sessions, id)
+	}
+	sort.Slice(sessions, func(a, b int) bool { return sessions[a] < sessions[b] })
+
+	clients := p.Clients
+	if clients <= 0 || clients > len(sessions) {
+		clients = len(sessions)
+	}
+	// Sessions fold onto workers round-robin by rank; a worker with
+	// several sessions merges them by recorded offset, preserving each
+	// session's internal order.
+	lanes := make([][]wcap.Record, clients)
+	for rank, id := range sessions {
+		lanes[rank%clients] = append(lanes[rank%clients], bySession[id]...)
+	}
+	for i := range lanes {
+		sort.SliceStable(lanes[i], func(a, b int) bool { return lanes[i][a].Offset < lanes[i][b].Offset })
+	}
+
+	// One runner per worker: a dedicated wire connection in live mode,
+	// the shared DB (safe: one DB, N sessions) or the caller's Runner
+	// otherwise.
+	runners := make([]func(ctx context.Context, label, sql string) (int64, bool, error), clients)
+	if p.Runner != nil {
+		for i := range runners {
+			runners[i] = p.Runner
+		}
+	} else if p.DB != nil {
+		run := func(ctx context.Context, label, sql string) (int64, bool, error) {
+			rows, err := p.DB.QueryObserved(ctx, nil, label, sql)
+			if err != nil {
+				return 0, false, err
+			}
+			defer rows.Close()
+			var n int64
+			for rows.Next() {
+				n++
+			}
+			return n, rows.CacheHit(), rows.Err()
+		}
+		for i := range runners {
+			runners[i] = run
+		}
+	} else {
+		dbs := make([]*client.DB, clients)
+		defer func() {
+			for _, db := range dbs {
+				if db != nil {
+					db.Close()
+				}
+			}
+		}()
+		for i := range dbs {
+			db, err := dialReady(ctx, p.Addr, p.WaitReady)
+			if err != nil {
+				return nil, fmt.Errorf("load: replay client %d: %w", i+1, err)
+			}
+			dbs[i] = db
+			runners[i] = func(ctx context.Context, label, sql string) (int64, bool, error) {
+				rows, err := db.QueryLabeled(ctx, label, sql)
+				if err != nil {
+					return 0, false, err
+				}
+				defer rows.Close()
+				var n int64
+				for rows.Next() {
+					n++
+				}
+				return n, rows.CacheHit(), rows.Err()
+			}
+		}
+	}
+
+	// Drive the lanes. Same fail-fast discipline as the load
+	// generator: the first failure cancels every other worker.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	results := make([]struct {
+		samples []replaySample
+		err     error
+	}, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range lanes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			for _, rec := range lanes[i] {
+				measureFrom := time.Now()
+				if p.Paced {
+					due := start.Add(time.Duration(float64(rec.Offset) / p.Timescale))
+					select {
+					case <-runCtx.Done():
+						if res.err == nil {
+							res.err = runCtx.Err()
+						}
+						return
+					case <-time.After(time.Until(due)):
+					}
+					// Latency from the scheduled arrival: service time
+					// plus any lag behind the recorded schedule.
+					measureFrom = due
+				} else if runCtx.Err() != nil {
+					if res.err == nil {
+						res.err = runCtx.Err()
+					}
+					return
+				}
+				rows, hit, err := runners[i](runCtx, rec.Label, rec.SQL)
+				if err != nil {
+					res.err = fmt.Errorf("load: replay worker %d %s: %w", i+1, rec.Label, err)
+					cancelRun()
+					return
+				}
+				res.samples = append(res.samples, replaySample{
+					label:    rec.Label,
+					rows:     rows,
+					d:        time.Since(measureFrom),
+					recorded: rec.Latency,
+					hit:      hit,
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []replaySample
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, err
+		}
+		all = append(all, results[i].samples...)
+	}
+	return summarizeReplay(p, all, len(sessions), clients, skipped, elapsed), nil
+}
+
+// summarizeReplay aggregates replay samples into the summary shape.
+func summarizeReplay(p ReplayParams, all []replaySample, sessions, clients, skipped int, elapsed time.Duration) *ReplaySummary {
+	s := &ReplaySummary{
+		Queries:   len(all),
+		Skipped:   skipped,
+		Sessions:  sessions,
+		Clients:   clients,
+		Paced:     p.Paced,
+		Timescale: p.Timescale,
+		Elapsed:   elapsed,
+	}
+	var lats, reclats []time.Duration
+	byLabel := make(map[string][]replaySample)
+	for _, sm := range all {
+		s.Rows += sm.rows
+		lats = append(lats, sm.d)
+		reclats = append(reclats, sm.recorded)
+		if sm.hit {
+			s.CacheHits++
+		}
+		byLabel[sm.label] = append(byLabel[sm.label], sm)
+	}
+	s.Lat = percentiles(lats)
+	s.RecordedLat = percentiles(reclats)
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		var qlats, qrec []time.Duration
+		var rows int64
+		for _, sm := range byLabel[l] {
+			qlats = append(qlats, sm.d)
+			qrec = append(qrec, sm.recorded)
+			rows += sm.rows
+		}
+		s.PerQuery = append(s.PerQuery, ReplayStat{
+			Label:       l,
+			Count:       len(byLabel[l]),
+			Rows:        rows,
+			Lat:         percentiles(qlats),
+			RecordedLat: percentiles(qrec),
+		})
+	}
+	return s
+}
+
+// Report renders the replay summary with the recorded-vs-replayed
+// latency comparison — the human-readable counterpart of the JSON
+// report.
+func (s *ReplaySummary) Report() string {
+	var b strings.Builder
+	mode := "closed-loop"
+	if s.Paced {
+		mode = fmt.Sprintf("paced ×%g", s.Timescale)
+	}
+	fmt.Fprintf(&b, "replayed %d queries (%d skipped) from %d sessions on %d workers, %s: %.1f q/s over %s\n",
+		s.Queries, s.Skipped, s.Sessions, s.Clients, mode, s.Throughput(), s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "rows %d, cache hits %d\n", s.Rows, s.CacheHits)
+	cmp := func(name string, rec, rep Latency) {
+		fmt.Fprintf(&b, "%-10s recorded p50=%s p90=%s p99=%s max=%s\n", name,
+			rec.P50.Round(time.Microsecond), rec.P90.Round(time.Microsecond),
+			rec.P99.Round(time.Microsecond), rec.Max.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-10s replayed p50=%s p90=%s p99=%s max=%s\n", "",
+			rep.P50.Round(time.Microsecond), rep.P90.Round(time.Microsecond),
+			rep.P99.Round(time.Microsecond), rep.Max.Round(time.Microsecond))
+	}
+	cmp("overall", s.RecordedLat, s.Lat)
+	for _, q := range s.PerQuery {
+		fmt.Fprintf(&b, "  %-12s n=%-4d rows=%-8d recorded_p50=%-10s replayed_p50=%s\n",
+			q.Label, q.Count, q.Rows,
+			q.RecordedLat.P50.Round(time.Microsecond), q.Lat.P50.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -249,6 +249,37 @@ func (s *Span) SetTopOp(op string) {
 	s.topOp = op
 }
 
+// StageNanos snapshots the span's per-stage nanosecond counters with
+// the same disjoint-exec clamp End applies when publishing, so a
+// reader that needs the stage breakdown before the span ends (the
+// workload capture records it alongside the result's terminal frame)
+// sees the exact values the span's Record will carry. Zero array on a
+// nil span. Safe to call from the execution's goroutine any time
+// before End.
+func (s *Span) StageNanos() [NumStages]int64 {
+	var out [NumStages]int64
+	if s == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = s.stages[i].Load()
+	}
+	clampExec(&out)
+	return out
+}
+
+// clampExec subtracts the contained IO and WAL waits out of the exec
+// stage: exec is timed around whole executor pulls, so it contains the
+// waits those pulls blocked on, and reporting requires disjoint stages
+// that sum toward the total.
+func clampExec[T ~int64](st *[NumStages]T) {
+	if over := st[StageIO] + st[StageWAL]; st[StageExec] > over {
+		st[StageExec] -= over
+	} else if over > 0 {
+		st[StageExec] = 0
+	}
+}
+
 // End finishes the span: the total is measured, the contained IO/WAL
 // waits are subtracted out of the exec stage (stages become disjoint),
 // the record is published to the tracer's rings and histograms, slow
@@ -398,14 +429,7 @@ func (t *Tracer) finish(s *Span) {
 	for i := range rec.Stages {
 		rec.Stages[i] = time.Duration(s.stages[i].Load())
 	}
-	// Exec was timed around whole executor pulls, so it contains the
-	// IO and WAL waits those pulls blocked on; subtract them out so
-	// the reported stages are disjoint and sum toward Total.
-	if over := rec.Stages[StageIO] + rec.Stages[StageWAL]; rec.Stages[StageExec] > over {
-		rec.Stages[StageExec] -= over
-	} else if over > 0 {
-		rec.Stages[StageExec] = 0
-	}
+	clampExec(&rec.Stages)
 	t.total.Observe(rec.Total)
 	for i, d := range rec.Stages {
 		if d > 0 {

@@ -11,6 +11,7 @@ import (
 
 	"repro/dsdb"
 	"repro/dsdb/obs"
+	"repro/dsdb/wcap"
 	"repro/dsdb/wire"
 )
 
@@ -64,7 +65,49 @@ type conn struct {
 
 	stmts      map[uint32]*dsdb.Stmt
 	stmtCols   map[uint32][]string
+	stmtSQL    map[uint32]string
 	nextStmtID uint32
+}
+
+// capture records one finished query to the server's workload capture
+// log. With capture disabled (the default) this is a single nil check.
+// bytes is the result-stream frame bytes; class classifies the
+// outcome. Must run before sp.End() — the span's stage counters are
+// read live — which the call sites guarantee by capturing inside the
+// stream function bodies, before their deferred End fires.
+func (c *conn) capture(label, sql string, start time.Time, sp *obs.Span, rows, bytes uint64, hit bool, class wcap.ErrClass) {
+	w := c.srv.cfg.capture
+	if w == nil {
+		return
+	}
+	rec := wcap.Record{
+		Offset:   start.Sub(w.Start()),
+		Session:  uint32(c.id),
+		QueryID:  sp.ID(),
+		Label:    label,
+		SQL:      sql,
+		Rows:     rows,
+		Bytes:    bytes,
+		Latency:  time.Since(start),
+		CacheHit: hit,
+		Err:      class,
+	}
+	if sp != nil {
+		st := sp.StageNanos()
+		rec.Stages = st[:]
+	}
+	w.Capture(rec)
+}
+
+// captureClass maps a query failure onto its capture error class.
+func captureClass(err error) wcap.ErrClass {
+	if err == nil {
+		return wcap.OK
+	}
+	if queryErrCode(err) == wire.CodeCancelled {
+		return wcap.ErrCancelled
+	}
+	return wcap.ErrQuery
 }
 
 // readLoop decodes frames off the socket into c.frames until the
@@ -253,6 +296,7 @@ func (c *conn) serve() {
 			if cl, err = wire.DecodeCloseStmt(fr.Payload); err == nil {
 				delete(c.stmts, cl.StmtID)
 				delete(c.stmtCols, cl.StmtID)
+				delete(c.stmtSQL, cl.StmtID)
 			}
 		case wire.KindStats:
 			err = c.send(wire.KindStatsResult, wire.EncodeStats(wire.Stats{Pairs: c.srv.Stats().Pairs()}))
@@ -403,9 +447,10 @@ func (c *conn) handleQuery(q wire.Query) error {
 	}
 	rows, err := c.srv.db.QueryObserved(ctx, c.hooks.Tracer, q.Label, q.SQL)
 	if err != nil {
+		c.capture(q.Label, q.SQL, start, nil, 0, 0, false, captureClass(err))
 		return c.reportQueryError(err)
 	}
-	return c.streamRows(rows)
+	return c.streamRows(rows, q.Label, q.SQL, start)
 }
 
 // handleShow serves a SHOW virtual table. It still runs the full
@@ -428,15 +473,17 @@ func (c *conn) handleShow(target, label string) error {
 	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		sp.SetErr(err)
+		c.capture(label, "show "+target, start, sp, 0, 0, false, captureClass(err))
 		return c.reportQueryError(err)
 	}
 	cols, rows, err := c.srv.showRows(target)
 	if err != nil {
 		sp.SetErr(err)
 		c.srv.counters.queryErrors.Add(1)
+		c.capture(label, "show "+target, start, sp, 0, 0, false, wcap.ErrQuery)
 		return c.sendError(wire.CodeQuery, err.Error())
 	}
-	return c.streamStatic(cols, rows, sp)
+	return c.streamStatic(cols, rows, sp, label, "show "+target, start)
 }
 
 // queryErrCode classifies a query failure: cancellations (client
@@ -458,11 +505,13 @@ func (c *conn) handlePrepare(p wire.Prepare) error {
 	if c.stmts == nil {
 		c.stmts = make(map[uint32]*dsdb.Stmt)
 		c.stmtCols = make(map[uint32][]string)
+		c.stmtSQL = make(map[uint32]string)
 	}
 	c.nextStmtID++
 	id := c.nextStmtID
 	c.stmts[id] = stmt
 	c.stmtCols[id] = stmt.Columns()
+	c.stmtSQL[id] = p.SQL
 	return c.send(wire.KindPrepareOK, wire.EncodePrepareOK(wire.PrepareOK{
 		StmtID:  id,
 		Columns: c.stmtCols[id],
@@ -494,17 +543,21 @@ func (c *conn) handleQueryStmt(q wire.QueryStmt) error {
 	}
 	rows, err := stmt.QueryLabeled(ctx, q.Label)
 	if err != nil {
+		c.capture(q.Label, c.stmtSQL[q.StmtID], start, nil, 0, 0, false, captureClass(err))
 		return c.reportQueryError(err)
 	}
-	return c.streamRows(rows)
+	return c.streamRows(rows, q.Label, c.stmtSQL[q.StmtID], start)
 }
 
 // streamRows sends RowHeader + RowBatch* + (Done | Error) for one
 // result set, polling for a client Cancel between batches. A non-nil
 // return means the connection itself is unusable (write failure or
 // protocol violation); query-level failures are reported in-stream
-// and return nil.
-func (c *conn) streamRows(rows *dsdb.Rows) error {
+// and return nil. Terminal outcomes — the Done frame out, or the
+// query-level error reported — are recorded to the workload capture;
+// a connection-fatal failure mid-stream is not (the outcome the
+// client saw is a half-stream, which no replay should repeat).
+func (c *conn) streamRows(rows *dsdb.Rows, label, sql string, start time.Time) error {
 	// The query's observability span outlives the Rows: frame encoding
 	// and flushing are part of serving the query, so the stream
 	// detaches the span, attributes its sends to the net stage, and
@@ -516,6 +569,7 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	defer rows.Close()
 	defer sp.End()
 	cancel := c.cancelQuery
+	bytes0 := c.stats.bytesOut.Load()
 	var count uint64
 	defer func() {
 		c.srv.counters.rowsStreamed.Add(count)
@@ -586,6 +640,7 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 	if err := rows.Err(); err != nil {
 		// Drop the unsent tail: the stream ends with the error marker.
 		sp.SetErr(err)
+		c.capture(label, sql, start, sp, count, c.stats.bytesOut.Load()-bytes0, false, captureClass(err))
 		return c.reportQueryError(err)
 	}
 	if err := flush(); err != nil {
@@ -601,17 +656,22 @@ func (c *conn) streamRows(rows *dsdb.Rows) error {
 		flags |= wire.DoneFlagCacheHit
 		c.srv.counters.cacheHits.Add(1)
 	}
-	return sendNet(wire.KindDone, func() []byte {
+	if err := sendNet(wire.KindDone, func() []byte {
 		return wire.EncodeDone(wire.Done{RowCount: count, Flags: flags, QueryID: sp.ID()})
-	})
+	}); err != nil {
+		return err
+	}
+	c.capture(label, sql, start, sp, count, c.stats.bytesOut.Load()-bytes0, rows.CacheHit(), wcap.OK)
+	return nil
 }
 
 // streamStatic streams a pre-materialized (virtual-table) result set
 // with the same RowHeader/RowBatch/Done framing as an engine query.
 // The caller's span (nil when observability is disabled) gets the
 // row count and the send time as net-stage work; ending it stays with
-// the caller.
-func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value, sp *obs.Span) error {
+// the caller. Like any served query the completed stream is recorded
+// to the workload capture.
+func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value, sp *obs.Span, label, sql string, start time.Time) error {
 	sendNet := func(k wire.Kind, payload []byte) error {
 		if sp == nil {
 			return c.send(k, payload)
@@ -621,6 +681,7 @@ func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value, sp *obs.Span) er
 		sp.Add(obs.StageNet, time.Since(t0))
 		return err
 	}
+	bytes0 := c.stats.bytesOut.Load()
 	if err := sendNet(wire.KindRowHeader, wire.EncodeRowHeader(wire.RowHeader{Columns: cols})); err != nil {
 		return err
 	}
@@ -637,5 +698,9 @@ func (c *conn) streamStatic(cols []string, rows [][]dsdb.Value, sp *obs.Span) er
 		}
 		count += uint64(end - off)
 	}
-	return sendNet(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, QueryID: sp.ID()}))
+	if err := sendNet(wire.KindDone, wire.EncodeDone(wire.Done{RowCount: count, QueryID: sp.ID()})); err != nil {
+		return err
+	}
+	c.capture(label, sql, start, sp, count, c.stats.bytesOut.Load()-bytes0, false, wcap.OK)
+	return nil
 }

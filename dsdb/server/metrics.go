@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strings"
 
 	"repro/dsdb/obs"
@@ -13,6 +14,10 @@ import (
 //
 //	/metrics      — the server's counters and histograms in the
 //	                Prometheus text exposition format
+//	/healthz      — liveness: 200 whenever the process can answer
+//	/readyz       — readiness: 200 while serving and not draining,
+//	                503 otherwise (load balancers stop routing here
+//	                the moment Shutdown begins)
 //	/debug/pprof/ — the standard net/http/pprof profiling handlers
 //
 // The pprof handlers are registered explicitly (not via the package's
@@ -21,6 +26,16 @@ import (
 func NewMetricsMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -74,6 +89,25 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	wst := s.db.WALStats()
 	writeCounter(&b, "dsdb_wal_appends_total", int64(wst.Appends))
 	writeCounter(&b, "dsdb_wal_fsyncs_total", int64(wst.Fsyncs))
+	// Workload-capture counters, present only while a capture is
+	// attached (same presence-means-enabled convention as the result
+	// cache above). The dropped counter is the one to alert on: a
+	// nonzero rate means the capture disk is shedding records.
+	if st.CaptureEnabled {
+		writeCounter(&b, "dsdb_capture_records_total", int64(st.CaptureRecords))
+		writeCounter(&b, "dsdb_capture_dropped_total", int64(st.CaptureDropped))
+		writeCounter(&b, "dsdb_capture_sampled_out_total", int64(st.CaptureSampledOut))
+		writeCounter(&b, "dsdb_capture_bytes_total", int64(st.CaptureBytes))
+	}
+	// Go runtime health: enough to spot a goroutine leak, heap growth
+	// or GC pressure from the same scrape that carries the serving
+	// stats, without pulling in a metrics dependency.
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	writeGauge(&b, "dsdb_go_goroutines", int64(runtime.NumGoroutine()))
+	writeGauge(&b, "dsdb_go_heap_alloc_bytes", int64(mem.HeapAlloc))
+	fmt.Fprintf(&b, "# TYPE dsdb_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(&b, "dsdb_go_gc_pause_seconds_total %g\n", float64(mem.PauseTotalNs)/1e9)
 	writeHistSeries(&b, "dsdb_query_latency_seconds", "", st.Latency)
 	fmt.Fprintf(&b, "# TYPE dsdb_query_stage_seconds histogram\n")
 	for i, h := range st.Stages {
@@ -85,6 +119,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 // writeCounter emits one monotonic counter series.
 func writeCounter(b *strings.Builder, name string, v int64) {
 	fmt.Fprintf(b, "# TYPE %s counter\n", name)
+	fmt.Fprintf(b, "%s %d\n", name, v)
+}
+
+// writeGauge emits one point-in-time gauge series.
+func writeGauge(b *strings.Builder, name string, v int64) {
+	fmt.Fprintf(b, "# TYPE %s gauge\n", name)
 	fmt.Fprintf(b, "%s %d\n", name, v)
 }
 

@@ -312,6 +312,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE dsdb_wal_fsyncs_total counter",
 		"# TYPE dsdb_query_latency_seconds histogram",
 		"# TYPE dsdb_query_stage_seconds histogram",
+		"# TYPE dsdb_go_goroutines gauge",
+		"# TYPE dsdb_go_heap_alloc_bytes gauge",
+		"# TYPE dsdb_go_gc_pause_seconds_total counter",
 		`dsdb_query_latency_seconds_bucket{le="+Inf"} `,
 		`dsdb_query_stage_seconds_bucket{stage="exec",le="+Inf"} `,
 		"dsdb_query_latency_seconds_count 1",
@@ -333,6 +336,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	if strings.Contains(text, "dsdb_result_cache_") {
 		t.Errorf("/metrics exports result-cache series on a cacheless server:\n%s", text)
 	}
+	// Same convention for workload capture: a server running without
+	// -capture-dir must not export dead capture counters.
+	if strings.Contains(text, "dsdb_capture_") {
+		t.Errorf("/metrics exports capture series on a capture-less server:\n%s", text)
+	}
 
 	resp, err = http.Get(ts.URL + "/debug/pprof/")
 	if err != nil {
@@ -342,6 +350,49 @@ func TestMetricsEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthAndReadyEndpoints covers the orchestration probes on the
+// metrics mux: /healthz answers ok whenever the process responds at
+// all, /readyz answers 200 only while the server is accepting and not
+// draining — before Serve it must refuse with 503 so a load balancer
+// never routes to a listener that is not up yet.
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	get := func(ts *httptest.Server, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	_, srv, _ := testServer(t)
+	ts := httptest.NewServer(server.NewMetricsMux(srv))
+	defer ts.Close()
+	if code, body := get(ts, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get(ts, "/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz = %d %q, want 200 ready", code, body)
+	}
+
+	// A server that was never started: healthy (the process is up) but
+	// not ready (no listener to route to).
+	db, err := dsdb.Open(dsdb.WithTPCD(0.0005), dsdb.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := httptest.NewServer(server.NewMetricsMux(server.New(db)))
+	defer idle.Close()
+	if code, _ := get(idle, "/healthz"); code != http.StatusOK {
+		t.Fatalf("idle /healthz = %d, want 200", code)
+	}
+	if code, _ := get(idle, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("idle /readyz = %d, want 503", code)
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/dsdb"
+	"repro/dsdb/wcap"
 	"repro/dsdb/wire"
 )
 
@@ -81,6 +82,7 @@ type config struct {
 	idleTimeout  time.Duration
 	slowQuery    time.Duration
 	newSession   func(id int) SessionHooks
+	capture      *wcap.Writer
 }
 
 // Option configures New.
@@ -125,6 +127,18 @@ func WithIdleTimeout(d time.Duration) Option {
 // disables the threshold.
 func WithSlowQueryThreshold(d time.Duration) Option {
 	return func(c *config) { c.slowQuery = d }
+}
+
+// WithCapture records every served query to w, the workload-capture
+// log (dsdb/wcap): SQL, session, outcome, latency and per-stage
+// breakdown, replayable later by dsreplay or stcpipe.ProfileReplayed.
+// The per-query cost is one nil check when absent and one non-blocking
+// channel send when present — capture never takes a lock or does IO on
+// the serving path, and a slow capture disk sheds records (counted in
+// Stats as CaptureDropped) instead of blocking queries. The caller
+// owns w's lifecycle: close it after the server has shut down.
+func WithCapture(w *wcap.Writer) Option {
+	return func(c *config) { c.capture = w }
 }
 
 // WithSessionHooks installs a per-session instrumentation factory,
@@ -239,6 +253,16 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.ln.Addr()
+}
+
+// Ready reports whether the server is accepting queries: it has a
+// live listener and is not draining. This is the /readyz predicate —
+// false before Serve, and false from the moment Shutdown begins even
+// though in-flight queries are still completing.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ln != nil && !s.draining
 }
 
 // startConn admits or refuses a fresh connection.

@@ -77,6 +77,20 @@ type Stats struct {
 	RowsStreamed uint64
 	BytesWritten uint64
 
+	// CaptureEnabled reports whether a workload capture (WithCapture)
+	// is attached; the counters below are zero without one.
+	// CaptureRecords counts queries accepted into the capture log,
+	// CaptureDropped the ones shed because the capture buffer was full
+	// (disk slower than the workload — never silent),
+	// CaptureSampledOut the ones skipped by the sampling rate, and
+	// CaptureBytes the frame bytes written to capture segments.
+	CaptureEnabled    bool
+	CaptureRecords    uint64
+	CaptureDropped    uint64
+	CaptureSampledOut uint64
+	CaptureBytes      uint64
+	CaptureIOErrors   uint64
+
 	// Uptime is how long the server has existed (since New).
 	Uptime time.Duration
 
@@ -112,6 +126,15 @@ func (s *Server) Stats() Stats {
 	for i := range st.Stages {
 		st.Stages[i] = s.db.Obs().StageSnapshot(obs.Stage(i))
 	}
+	if w := s.cfg.capture; w != nil {
+		cs := w.Stats()
+		st.CaptureEnabled = true
+		st.CaptureRecords = cs.Records
+		st.CaptureDropped = cs.Dropped
+		st.CaptureSampledOut = cs.SampledOut
+		st.CaptureBytes = cs.Bytes
+		st.CaptureIOErrors = cs.IOErrors
+	}
 	s.mu.Lock()
 	st.ActiveConns = len(s.conns)
 	s.mu.Unlock()
@@ -140,6 +163,19 @@ func (st Stats) Pairs() []wire.StatPair {
 		{Name: "queries_cache_hits", Value: int64(st.CacheHits)},
 		{Name: "rows_streamed", Value: int64(st.RowsStreamed)},
 		{Name: "bytes_written", Value: int64(st.BytesWritten)},
+	}
+	// Capture pairs appear only when a capture is attached — the same
+	// discipline as the result-cache metrics: absent, not zero, when
+	// the subsystem is off, so dashboards can detect "capturing" by
+	// the presence of the series.
+	if st.CaptureEnabled {
+		pairs = append(pairs,
+			wire.StatPair{Name: "capture_records", Value: int64(st.CaptureRecords)},
+			wire.StatPair{Name: "capture_dropped", Value: int64(st.CaptureDropped)},
+			wire.StatPair{Name: "capture_sampled_out", Value: int64(st.CaptureSampledOut)},
+			wire.StatPair{Name: "capture_bytes", Value: int64(st.CaptureBytes)},
+			wire.StatPair{Name: "capture_io_errors", Value: int64(st.CaptureIOErrors)},
+		)
 	}
 	for i, n := range st.Latency.Counts {
 		pairs = append(pairs, wire.StatPair{Name: "lat_" + obs.BucketLabel(i), Value: int64(n)})
@@ -175,6 +211,7 @@ type connStats struct {
 // SHOW WAL     — durability: durable flag, current WAL segment
 // SHOW QUERIES — recent query spans, newest first (qid, stages, ...)
 // SHOW SLOW    — recent slow-query spans, newest first (same shape)
+// SHOW CAPTURE — workload-capture counters (all zero when disabled)
 
 // parseShow recognizes a SHOW statement; ok is false for anything
 // else (which then takes the normal query path).
@@ -258,6 +295,21 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 			kv("expirations", int64(st.Expirations)),
 			kv("admission_rejects", int64(st.AdmissionRejects)),
 		}
+	case "capture":
+		cols = []string{"stat", "value"}
+		st := s.Stats()
+		e := int64(0)
+		if st.CaptureEnabled {
+			e = 1
+		}
+		rows = [][]dsdb.Value{
+			kv("enabled", e),
+			kv("records", int64(st.CaptureRecords)),
+			kv("dropped", int64(st.CaptureDropped)),
+			kv("sampled_out", int64(st.CaptureSampledOut)),
+			kv("bytes", int64(st.CaptureBytes)),
+			kv("io_errors", int64(st.CaptureIOErrors)),
+		}
 	case "queries":
 		cols, rows = spanRows(s.db.Obs().Recent())
 	case "slow":
@@ -276,7 +328,7 @@ func (s *Server) showRows(target string) (cols []string, rows [][]dsdb.Value, er
 			kv("fsyncs", int64(w.Fsyncs)),
 		}
 	default:
-		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal, queries, slow)", target)
+		return nil, nil, fmt.Errorf("unknown SHOW target %q (have stats, conns, tables, pool, cache, wal, queries, slow, capture)", target)
 	}
 	return cols, rows, nil
 }

@@ -1,0 +1,117 @@
+package stcpipe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/dsdb"
+	"repro/dsdb/wcap"
+	"repro/internal/kernel"
+)
+
+// ProfileReplayed traces a captured workload (dsdb/wcap records, as
+// recorded by a server running with WithCapture / dsdbd -capture-dir)
+// through the instruction-fetch pipeline: the capture's queries run
+// again, grouped by their recorded session, one kernel trace per
+// session, interleaved at query boundaries exactly like
+// ProfileConcurrent and ProfileServed. This closes the paper's loop
+// on real traffic — Layout trains and Simulate replays the
+// instruction stream of the workload a production server actually
+// served, not a synthetic mix.
+//
+// Records whose recorded outcome was an error are skipped (nothing
+// executed to trace), as are SHOW queries — server introspection that
+// does not exist in-process. Like the other multi-session profilers,
+// the run starts with one serial untraced pass over every distinct
+// query so the buffer pool is warm and the merged profile is
+// deterministic; the returned profile is immutable (Run rejects it).
+func (p *Pipeline) ProfileReplayed(db *dsdb.DB, recs []wcap.Record) (*Profile, error) {
+	// Partition the capture per recorded session, recorded start order
+	// within each.
+	bySession := make(map[uint32][]wcap.Record)
+	for _, r := range recs {
+		if r.Err != wcap.OK || isShow(r.SQL) {
+			continue
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+	if len(bySession) == 0 {
+		return nil, fmt.Errorf("stcpipe: capture has no replayable queries (%d records)", len(recs))
+	}
+	ids := make([]uint32, 0, len(bySession))
+	maxQueries := 0
+	for id := range bySession {
+		sort.SliceStable(bySession[id], func(a, b int) bool {
+			return bySession[id][a].Offset < bySession[id][b].Offset
+		})
+		ids = append(ids, id)
+		if n := len(bySession[id]); n > maxQueries {
+			maxQueries = n
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	// Warmup: serial, untraced, every distinct query once — the same
+	// page-residency argument as ProfileServed's warmup pass.
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		for _, r := range bySession[id] {
+			if seen[r.SQL] {
+				continue
+			}
+			seen[r.SQL] = true
+			if err := drainTraced(db, nil, r.SQL); err != nil {
+				return nil, fmt.Errorf("stcpipe: replayed warmup %s: %w", r.Label, err)
+			}
+		}
+	}
+
+	// One traced kernel session per recorded session, run concurrently
+	// like ProfileConcurrent. Marks carry the recorded session id and
+	// label, so the merged trace reads back to the capture.
+	sess := make([]*kernel.Session, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		sess[i] = p.img.NewSession(p.validate)
+		wg.Add(1)
+		go func(i int, id uint32) {
+			defer wg.Done()
+			ses := sess[i]
+			for qi, r := range bySession[id] {
+				label := r.Label
+				if label == "" {
+					label = fmt.Sprintf("q%d", qi+1)
+				}
+				label = fmt.Sprintf("s%d-%s", id, label)
+				ses.Mark(label)
+				if err := drainTraced(db, ses, r.SQL); err != nil {
+					errs[i] = fmt.Errorf("stcpipe: replayed %s: %w", label, err)
+					return
+				}
+				if err := ses.Err(); err != nil {
+					errs[i] = fmt.Errorf("stcpipe: replayed %s: trace: %w", label, err)
+					return
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Sessions may have replayed unequal query counts (real captures
+	// are ragged); interleaveSessions skips exhausted sessions past
+	// their last mark.
+	return &Profile{pipe: p, tr: interleaveSessions(p.img.Prog, sess, maxQueries)}, nil
+}
+
+// isShow reports whether sql is a server-side SHOW statement.
+func isShow(sql string) bool {
+	f := strings.Fields(strings.ToLower(sql))
+	return len(f) > 0 && f[0] == "show"
+}

@@ -1,0 +1,55 @@
+package wcap
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecodeCaptureRecord throws arbitrary bytes at the record
+// decoder. The invariants: never panic, and every payload produced by
+// EncodeRecord must round-trip (checked by re-encoding the decode and
+// comparing — the codec has a canonical form, so encode∘decode is the
+// identity on valid payloads).
+func FuzzDecodeCaptureRecord(f *testing.F) {
+	seeds := []Record{
+		{},
+		{Label: "Q3", SQL: "select 1", Rows: 5, Err: OK},
+		{
+			Offset:   1500 * time.Millisecond,
+			Session:  7,
+			QueryID:  42,
+			Label:    "Q17",
+			SQL:      "select sum(l_extendedprice) from lineitem, part where p_partkey = l_partkey",
+			Rows:     1,
+			Bytes:    512,
+			Latency:  12 * time.Millisecond,
+			Stages:   []int64{100, 0, 9000, 400, 0, 300},
+			CacheHit: true,
+			Err:      OK,
+		},
+		{SQL: "show stats", Err: ErrQuery},
+		{Label: "Q1", SQL: "select 1", Err: ErrCancelled, Stages: make([]int64, MaxStages)},
+	}
+	for _, r := range seeds {
+		p, err := EncodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{typeQuery})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			return
+		}
+		p2, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		if string(p2) != string(p) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", p, p2)
+		}
+	})
+}

@@ -1,0 +1,706 @@
+// Package wcap is the workload-capture subsystem: an append-only,
+// length-prefixed, CRC-32C-checked binary log of every query a dsdb
+// server serves. Each record carries the query's identity (monotonic
+// offset from capture start, session id, observability query id,
+// label, SQL text) and its outcome (rows, bytes, latency, per-stage
+// nanoseconds, cache-hit attribution, error class), so a capture is a
+// complete, replayable description of real traffic: cmd/dsreplay can
+// re-run it against any server or in-process database, and
+// stcpipe.ProfileReplayed can feed it through the paper's
+// instruction-fetch pipeline in place of a synthetic mix.
+//
+// The on-disk discipline deliberately mirrors internal/db/wal:
+// size-rotated numbered segment files of CRC-framed records, a
+// panic-free decoder fuzzable in isolation (FuzzDecodeCaptureRecord),
+// and a scanner that distinguishes a torn tail — the crash artifact an
+// append-only file can legally carry, tolerated on the newest segment
+// only — from mid-segment corruption, which fails loudly rather than
+// silently dropping captured traffic.
+//
+// The write side is built to never touch the serving hot path: the
+// server's per-query cost is one nil check when capture is disabled
+// and one non-blocking channel send when enabled. A single background
+// goroutine owns the segment files and does all encoding, framing and
+// IO; when the bounded channel is full (a disk slower than the
+// workload) the record is dropped and an atomic drop counter is
+// bumped — a slow disk can never block a query, and drops are always
+// visible in Stats, SHOW capture and /metrics, never silent.
+//
+// The package imports only the standard library, so every layer from
+// the server down to offline tooling can depend on it without cycles.
+package wcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClass classifies a captured query's outcome.
+type ErrClass uint8
+
+const (
+	// OK is a query that completed its result stream cleanly.
+	OK ErrClass = 0
+	// ErrQuery is a query-level failure (bad SQL, execution error).
+	ErrQuery ErrClass = 1
+	// ErrCancelled is a query ended by cancellation (client Cancel
+	// frame, Quit mid-stream, or server-side deadline).
+	ErrCancelled ErrClass = 2
+)
+
+// String returns the class's stable name ("ok", "error", "cancelled").
+func (c ErrClass) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case ErrQuery:
+		return "error"
+	case ErrCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("errclass(%d)", uint8(c))
+}
+
+// MaxStages bounds the per-stage array carried by a record; it is
+// comfortably above obs.NumStages so the format survives new stages.
+const MaxStages = 16
+
+// Record is one served query. Offset is the query's start measured
+// from the capture's own start on the monotonic clock — the replay
+// schedule — so captures are position-independent: no wall-clock
+// timestamps, nothing to skew between machines.
+type Record struct {
+	// Offset is when the query started, relative to Writer.Start().
+	Offset time.Duration
+	// Session is the server's accept-order session (connection) id.
+	Session uint32
+	// QueryID is the observability query id (0 when obs is disabled).
+	QueryID uint64
+	// Label is the client-supplied query label ("Q3"); may be empty.
+	Label string
+	// SQL is the query text exactly as served (for prepared
+	// statements, the text the statement was prepared from).
+	SQL string
+	// Rows and Bytes are the result rows streamed and the frame bytes
+	// written serving them.
+	Rows  uint64
+	Bytes uint64
+	// Latency is the served wall time, from accept to terminal frame.
+	Latency time.Duration
+	// Stages are the per-stage nanosecond timings in obs stage order
+	// (plan, cache, exec, io, wal, net), exec already clamped disjoint.
+	// Empty when observability is disabled.
+	Stages []int64
+	// CacheHit marks a query answered from the server's result cache.
+	CacheHit bool
+	// Err classifies the outcome.
+	Err ErrClass
+}
+
+// MaxRecordBytes bounds one record's payload. Query text dominates;
+// anything larger in a length prefix marks garbage, not data.
+const MaxRecordBytes = 1 << 20
+
+// maxStr bounds the label and SQL fields.
+const maxStr = 64 << 10
+
+// typeQuery is the record type tag (first payload byte), reserved for
+// format evolution.
+const typeQuery uint8 = 1
+
+// ErrCorrupt reports a record that is fully present in a segment but
+// does not decode: a CRC mismatch, an impossible length, or a
+// malformed payload. Unlike a torn tail, this is not a crash artifact
+// and readers must not silently skip it.
+var ErrCorrupt = errors.New("wcap: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ---- record codec ----
+
+func appendStr(dst []byte, s string) ([]byte, error) {
+	if len(s) > maxStr {
+		return nil, fmt.Errorf("wcap: string field too long (%d bytes)", len(s))
+	}
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	dst = append(dst, tmp[:]...)
+	return append(dst, s...), nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// EncodeRecord serializes one record payload (type byte + body).
+func EncodeRecord(r Record) ([]byte, error) {
+	if len(r.Stages) > MaxStages {
+		return nil, fmt.Errorf("wcap: too many stages (%d)", len(r.Stages))
+	}
+	p := []byte{typeQuery}
+	p = appendU64(p, uint64(r.Offset))
+	p = appendU32(p, r.Session)
+	p = appendU64(p, r.QueryID)
+	var err error
+	if p, err = appendStr(p, r.Label); err != nil {
+		return nil, err
+	}
+	if p, err = appendStr(p, r.SQL); err != nil {
+		return nil, err
+	}
+	p = appendU64(p, r.Rows)
+	p = appendU64(p, r.Bytes)
+	p = appendU64(p, uint64(r.Latency))
+	p = append(p, uint8(len(r.Stages)))
+	for _, ns := range r.Stages {
+		p = appendU64(p, uint64(ns))
+	}
+	var flags uint8
+	if r.CacheHit {
+		flags |= 1
+	}
+	p = append(p, flags, uint8(r.Err))
+	if len(p) > MaxRecordBytes {
+		return nil, fmt.Errorf("wcap: record too large (%d bytes)", len(p))
+	}
+	return p, nil
+}
+
+// decoder walks a payload without ever indexing past its end, so
+// DecodeRecord is panic-free on arbitrary input.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.p) {
+		d.fail()
+		return 0
+	}
+	v := d.p[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.p) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.p) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n > maxStr || d.off+n > len(d.p) {
+		d.fail()
+		return ""
+	}
+	s := string(d.p[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// DecodeRecord parses one record payload. It never panics, rejects
+// trailing garbage, and wraps every failure in ErrCorrupt.
+func DecodeRecord(p []byte) (Record, error) {
+	d := &decoder{p: p}
+	if t := d.u8(); d.err == nil && t != typeQuery {
+		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, t)
+	}
+	var r Record
+	r.Offset = time.Duration(d.u64())
+	r.Session = d.u32()
+	r.QueryID = d.u64()
+	r.Label = d.str()
+	r.SQL = d.str()
+	r.Rows = d.u64()
+	r.Bytes = d.u64()
+	r.Latency = time.Duration(d.u64())
+	n := int(d.u8())
+	if d.err == nil && n > MaxStages {
+		return Record{}, fmt.Errorf("%w: %d stages", ErrCorrupt, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Stages = append(r.Stages, int64(d.u64()))
+	}
+	flags := d.u8()
+	if d.err == nil && flags > 1 {
+		return Record{}, fmt.Errorf("%w: bad flags %#x", ErrCorrupt, flags)
+	}
+	r.CacheHit = flags&1 != 0
+	switch c := ErrClass(d.u8()); c {
+	case OK, ErrQuery, ErrCancelled:
+		r.Err = c
+	default:
+		if d.err == nil {
+			return Record{}, fmt.Errorf("%w: bad error class %d", ErrCorrupt, uint8(c))
+		}
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(p) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p)-d.off)
+	}
+	return r, nil
+}
+
+// ---- segments ----
+
+const segPrefix = "cap-"
+const segSuffix = ".wcap"
+
+// SegmentName returns the file name of segment seq.
+func SegmentName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)
+}
+
+// Segment names one on-disk capture segment.
+type Segment struct {
+	Seq  uint64
+	Path string
+}
+
+// Segments lists the capture segments under dir in ascending sequence
+// order. A missing directory yields an empty list.
+func Segments(dir string) ([]Segment, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []Segment
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &seq); err != nil {
+			continue
+		}
+		segs = append(segs, Segment{Seq: seq, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// frame header: payload length (u32) + CRC-32C of the payload (u32).
+const frameHdr = 8
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanSegment walks one segment, calling fn for every valid record.
+// It returns the byte offset of the end of the last valid record and
+// whether the bytes beyond it are a torn tail (the prefix of an
+// append a crash interrupted). A full-length record that fails its
+// CRC or does not decode returns ErrCorrupt; fn errors abort the
+// scan. The tear/corruption split follows internal/db/wal: a claimed
+// extent past EOF or a zero run to EOF reads as torn, anything else
+// impossible is corruption.
+func ScanSegment(path string, fn func(rec Record) error) (end int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < frameHdr {
+			return int64(off), true, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 {
+			// A zero run to EOF is preallocated-but-unwritten space
+			// (a tear); a zero length with live data after it is not.
+			if allZero(data[off:]) {
+				return int64(off), true, nil
+			}
+			return int64(off), false, fmt.Errorf("%w: zero record length at offset %d of %s", ErrCorrupt, off, path)
+		}
+		if n > MaxRecordBytes {
+			// The writer never frames a payload this large, so a
+			// fully-present header claiming one is corruption even
+			// when the claimed extent runs past EOF.
+			return int64(off), false, fmt.Errorf("%w: bad record length %d at offset %d of %s", ErrCorrupt, n, off, path)
+		}
+		if off+frameHdr+n > len(data) {
+			return int64(off), true, nil
+		}
+		payload := data[off+frameHdr : off+frameHdr+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return int64(off), false, fmt.Errorf("%w: CRC mismatch at offset %d of %s", ErrCorrupt, off, path)
+		}
+		rec, derr := DecodeRecord(payload)
+		if derr != nil {
+			return int64(off), false, fmt.Errorf("%s offset %d: %w", path, off, derr)
+		}
+		off += frameHdr + n
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return int64(off), false, err
+			}
+		}
+	}
+	return int64(off), false, nil
+}
+
+// Replay scans every segment under dir in sequence order, calling fn
+// for each record. A torn tail is tolerated only on the newest
+// segment (the only place a crash — or a SIGKILLed server — can leave
+// one); anywhere else it reports ErrCorrupt.
+func Replay(dir string, fn func(rec Record) error) error {
+	segs, err := Segments(dir)
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		_, torn, err := ScanSegment(s.Path, fn)
+		if err != nil {
+			return err
+		}
+		if torn && i != len(segs)-1 {
+			return fmt.Errorf("%w: torn record inside non-final segment %s", ErrCorrupt, s.Path)
+		}
+	}
+	return nil
+}
+
+// Load reads a whole capture into memory, in record order.
+func Load(dir string) ([]Record, error) {
+	var recs []Record
+	if err := Replay(dir, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ---- writer ----
+
+// Options configures a Writer.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 8 MB): an append
+	// that would push the current segment past it rotates to a fresh
+	// segment first.
+	SegmentBytes int64
+	// Buffer is the capture channel's capacity (default 1024): how
+	// many records may be in flight to the background writer before
+	// Capture starts dropping.
+	Buffer int
+	// Sample keeps roughly this fraction of queries (0 or 1 captures
+	// everything; 0.01 captures ~1 in 100). Sampling is deterministic
+	// counter-based — every round(1/Sample)-th query is kept — so two
+	// identical runs capture the identical subset. Sampled-out queries
+	// are counted separately from drops: skipping was chosen, not
+	// forced.
+	Sample float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 1024
+	}
+	if o.Sample < 0 || o.Sample > 1 {
+		return o, fmt.Errorf("wcap: sample rate %g outside [0, 1]", o.Sample)
+	}
+	return o, nil
+}
+
+// Stats is a point-in-time copy of a writer's lifetime counters.
+type Stats struct {
+	// Records counts records accepted onto the capture channel (they
+	// are on disk once Close returns, modulo IOErrors).
+	Records uint64
+	// Dropped counts records lost because the channel was full — the
+	// disk not keeping up with the workload. Never silent: surfaced
+	// here, in SHOW capture, and on /metrics.
+	Dropped uint64
+	// SampledOut counts records skipped by Options.Sample.
+	SampledOut uint64
+	// Bytes counts frame bytes written to segment files.
+	Bytes uint64
+	// IOErrors counts records the background writer failed to encode
+	// or write; LastErr describes the most recent failure.
+	IOErrors uint64
+	LastErr  string
+}
+
+// Writer captures records to a segment directory. The hot-path
+// surface (Capture) is wait-free: it never blocks, never does IO, and
+// takes no lock — the background goroutine started by Open owns all
+// file state exclusively. Close stops the goroutine, drains what is
+// buffered and fsyncs.
+type Writer struct {
+	dir   string
+	opts  Options
+	start time.Time
+	every uint64 // sampling modulus (1 = keep everything)
+
+	ch   chan Record
+	stop chan struct{}
+	done chan struct{}
+
+	closed   atomic.Bool
+	stopOnce sync.Once
+
+	records    atomic.Uint64
+	dropped    atomic.Uint64
+	sampledOut atomic.Uint64
+	seen       atomic.Uint64 // sampling counter
+	bytes      atomic.Uint64
+	ioErrs     atomic.Uint64
+	lastErr    atomic.Pointer[string]
+
+	// Background-goroutine-only file state.
+	seq uint64
+	f   *os.File
+	off int64
+}
+
+// Open creates (or reuses) dir and starts the background writer. An
+// existing capture is never appended into: writing always begins on a
+// fresh segment one past the highest present, so a reopened directory
+// accumulates runs without risking a mid-segment splice.
+func Open(dir string, opts Options) (*Writer, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := uint64(0)
+	if len(segs) > 0 {
+		seq = segs[len(segs)-1].Seq + 1
+	}
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	every := uint64(1)
+	if opts.Sample > 0 && opts.Sample < 1 {
+		every = uint64(1/opts.Sample + 0.5)
+		if every < 1 {
+			every = 1
+		}
+	}
+	w := &Writer{
+		dir:   dir,
+		opts:  opts,
+		start: time.Now(),
+		every: every,
+		ch:    make(chan Record, opts.Buffer),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		seq:   seq,
+		f:     f,
+	}
+	go w.run()
+	return w, nil
+}
+
+// Start returns the capture's start instant; Record.Offset values are
+// measured against it (use the monotonic difference of the query's
+// own start reading — no extra clock read on the hot path).
+func (w *Writer) Start() time.Time { return w.start }
+
+// Dir returns the capture directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Capture hands one record to the background writer. It never
+// blocks: when the channel is full the record is dropped and counted.
+// Safe for concurrent use from any goroutine; a no-op after Close.
+func (w *Writer) Capture(rec Record) {
+	if w == nil || w.closed.Load() {
+		return
+	}
+	if w.every > 1 && w.seen.Add(1)%w.every != 0 {
+		w.sampledOut.Add(1)
+		return
+	}
+	select {
+	case w.ch <- rec:
+		w.records.Add(1)
+	default:
+		w.dropped.Add(1)
+	}
+}
+
+// Stats snapshots the writer's counters (atomics; callable any time,
+// including mid-traffic).
+func (w *Writer) Stats() Stats {
+	st := Stats{
+		Records:    w.records.Load(),
+		Dropped:    w.dropped.Load(),
+		SampledOut: w.sampledOut.Load(),
+		Bytes:      w.bytes.Load(),
+		IOErrors:   w.ioErrs.Load(),
+	}
+	if p := w.lastErr.Load(); p != nil {
+		st.LastErr = *p
+	}
+	return st
+}
+
+// Close stops capturing, drains the buffered records to disk, fsyncs
+// and closes the current segment. Idempotent.
+func (w *Writer) Close() error {
+	w.closed.Store(true)
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+	if st := w.Stats(); st.LastErr != "" {
+		return fmt.Errorf("wcap: capture had %d IO errors, last: %s", st.IOErrors, st.LastErr)
+	}
+	return nil
+}
+
+// run is the background writer: it owns the segment files and does
+// all encoding and IO, so the capturing goroutines never wait on the
+// disk. On stop it drains whatever Capture already accepted — those
+// records were counted, so they must land.
+func (w *Writer) run() {
+	defer close(w.done)
+	for {
+		select {
+		case rec := <-w.ch:
+			w.write(rec)
+		case <-w.stop:
+			for {
+				select {
+				case rec := <-w.ch:
+					w.write(rec)
+				default:
+					if err := w.f.Sync(); err != nil {
+						w.fail(err)
+					}
+					if err := w.f.Close(); err != nil {
+						w.fail(err)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// write frames and appends one record, rotating first when the append
+// would push the segment past the rotation threshold. IO failures are
+// counted and remembered, never fatal: capture is observability, and
+// a broken disk must not take the server down with it.
+func (w *Writer) write(rec Record) {
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	frame := make([]byte, frameHdr+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHdr:], payload)
+	if w.off > 0 && w.off+int64(len(frame)) > w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+	n, err := w.f.Write(frame)
+	w.off += int64(n)
+	w.bytes.Add(uint64(n))
+	if err != nil {
+		// A partial frame may be on disk; truncate back to the last
+		// record boundary so later appends cannot bury garbage
+		// mid-segment (readers would fail loudly on it otherwise).
+		if w.off > int64(n) || n > 0 {
+			boundary := w.off - int64(n)
+			if terr := w.f.Truncate(boundary); terr == nil {
+				if _, serr := w.f.Seek(boundary, 0); serr == nil {
+					w.off = boundary
+				}
+			}
+		}
+		w.fail(err)
+	}
+}
+
+// rotate syncs and closes the current segment and starts the next.
+func (w *Writer) rotate() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, SegmentName(w.seq+1)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.off = f, 0
+	w.seq++
+	return nil
+}
+
+// fail records a background-writer failure.
+func (w *Writer) fail(err error) {
+	w.ioErrs.Add(1)
+	msg := err.Error()
+	w.lastErr.Store(&msg)
+}

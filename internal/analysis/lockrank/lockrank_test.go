@@ -72,6 +72,9 @@ func TestEveryMutexBearingTypeIsRanked(t *testing.T) {
 		filepath.Join(root, "dsdb", "qcache"),
 		filepath.Join(root, "dsdb", "server"),
 		filepath.Join(root, "dsdb", "obs"),
+		// wcap is mutex-free by design (atomics + one channel); walking
+		// it keeps that true — any mutex added there must be ranked.
+		filepath.Join(root, "dsdb", "wcap"),
 	}
 	// dsdb's own root package (not client/load: their mutexes guard
 	// per-session protocol state on the dialing side and are outside
